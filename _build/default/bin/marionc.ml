@@ -1,0 +1,155 @@
+(* marionc: the Marion retargetable compiler driver.
+
+   Compile mini-C for one of the built-in targets (or an external Maril
+   description) under a chosen code generation strategy; print the
+   generated assembly, run on the pipeline simulator, or compare against
+   the reference interpreter. *)
+
+open Cmdliner
+
+let load_builtin = function
+  | "toyp" -> Toyp.load ()
+  | "r2000" -> R2000.load ()
+  | "m88000" -> M88000.load ()
+  | "i860" -> I860.load ()
+  | other -> failwith (Printf.sprintf "unknown target %S" other)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let target_arg =
+  let doc = "Target machine: toyp, r2000, m88000 or i860." in
+  Arg.(value & opt string "r2000" & info [ "t"; "target" ] ~docv:"TARGET" ~doc)
+
+let maril_arg =
+  let doc =
+    "Load the target from a Maril description file instead of a built-in \
+     (func escapes are unavailable for external descriptions)."
+  in
+  Arg.(value & opt (some file) None & info [ "maril" ] ~docv:"FILE" ~doc)
+
+let strategy_arg =
+  let doc = "Code generation strategy: naive, postpass, ips or rase." in
+  Arg.(value & opt string "postpass" & info [ "s"; "strategy" ] ~docv:"STRAT" ~doc)
+
+let source_arg =
+  let doc = "The C source file to compile." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc)
+
+let run_flag =
+  let doc = "Execute the compiled program on the pipeline simulator." in
+  Arg.(value & flag & info [ "r"; "run" ] ~doc)
+
+let verify_flag =
+  let doc =
+    "Run both the simulator and the reference interpreter and compare their \
+     output."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let cache_flag =
+  let doc = "Simulate with a direct-mapped data cache (64 lines x 16 B, 8-cycle miss)." in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let trace_arg =
+  let doc = "Trace the first N issued instructions with their cycles." in
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+
+let stats_flag =
+  let doc = "Print compilation statistics (spills, schedule passes, estimates)." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let ghfill_flag =
+  let doc =
+    "Fill branch delay slots with useful instructions (Gross-Hennessy) \
+     instead of nops."
+  in
+  Arg.(value & flag & info [ "ghfill" ] ~doc)
+
+let main target maril strategy source run verify cache trace stats ghfill =
+  try
+    let model =
+      match maril with
+      | Some path ->
+          Marion.load_target ~name:(Filename.basename path) ~file:path
+            (read_file path)
+      | None -> load_builtin target
+    in
+    let strat =
+      match Strategy.of_string strategy with
+      | Some s -> s
+      | None -> failwith (Printf.sprintf "unknown strategy %S" strategy)
+    in
+    let src = read_file source in
+    let compiled = Marion.compile model strat ~file:source src in
+    if ghfill then begin
+      let filled =
+        List.fold_left
+          (fun acc fn -> acc + Ghfill.fill_func fn)
+          0 compiled.Marion.prog.Mir.p_funcs
+      in
+      if stats then Printf.printf "# ghfill: %d delay slots filled\n" filled
+    end;
+    if stats then
+      Printf.printf "# spills=%d schedule-passes=%d\n"
+        compiled.Marion.report.Strategy.spilled
+        compiled.Marion.report.Strategy.schedule_passes;
+    if run || verify || trace > 0 then begin
+      let config =
+        {
+          Sim.default_config with
+          Sim.cache =
+            (if cache then
+               Some { Sim.lines = 64; line_bytes = 16; miss_penalty = 8 }
+             else None);
+          trace_limit = trace;
+        }
+      in
+      let r = Marion.run ~config compiled in
+      if trace > 0 then
+        List.iter (fun (cy, s) -> Printf.printf "%6d  %s\n" cy s) r.Sim.trace;
+      print_string r.Sim.output;
+      Printf.printf "# exit=%d cycles=%d instructions=%d\n" r.Sim.return_value
+        r.Sim.cycles r.Sim.instructions;
+      if cache then
+        Printf.printf "# loads=%d cache-misses=%d\n" r.Sim.loads r.Sim.cache_misses;
+      if verify then begin
+        let oracle = Marion.interpret ~file:source src in
+        if
+          oracle.Cinterp.output = r.Sim.output
+          && oracle.Cinterp.return_value = r.Sim.return_value
+        then print_endline "# verify: simulator matches the reference interpreter"
+        else begin
+          Printf.printf "# verify: MISMATCH\n# interpreter output: %S (exit %d)\n"
+            oracle.Cinterp.output oracle.Cinterp.return_value;
+          exit 1
+        end
+      end
+    end
+    else print_string (Marion.asm_to_string compiled.Marion.prog);
+    0
+  with
+  | Loc.Error (loc, msg) ->
+      Printf.eprintf "%s\n" (Loc.error_to_string loc msg);
+      1
+  | Select.No_pattern msg | Failure msg ->
+      Printf.eprintf "marionc: %s\n" msg;
+      1
+  | Sim.Sim_error msg ->
+      Printf.eprintf "marionc: simulation failed: %s\n" msg;
+      1
+
+let cmd =
+  let doc = "retargetable instruction-scheduling compiler (Marion, PLDI 1991)" in
+  let info = Cmd.info "marionc" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ target_arg $ maril_arg $ strategy_arg $ source_arg
+      $ run_flag $ verify_flag $ cache_flag $ trace_arg $ stats_flag
+      $ ghfill_flag)
+
+let () = exit (Cmd.eval' cmd)

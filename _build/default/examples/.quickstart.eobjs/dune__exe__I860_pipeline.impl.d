@@ -1,0 +1,1 @@
+examples/i860_pipeline.ml: Cinterp I860 List Marion Printf Sim Strategy String

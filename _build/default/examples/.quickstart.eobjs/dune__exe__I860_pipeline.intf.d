@@ -1,0 +1,1 @@
+examples/i860_pipeline.mli:

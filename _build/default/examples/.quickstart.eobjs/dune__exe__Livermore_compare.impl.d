@@ -1,0 +1,1 @@
+examples/livermore_compare.ml: Array List Livermore Marion Printf R2000 Sim Strategy Sys

@@ -1,0 +1,1 @@
+examples/livermore_compare.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cinterp Marion Model Printf Sim Strategy Toyp

@@ -1,0 +1,1 @@
+examples/retarget.ml: Array Cinterp List Marion Model Printf Sim Strategy

@@ -1,0 +1,34 @@
+(* Compare the four code generation strategies on Livermore kernels
+   running on the MIPS R2000 — a small interactive version of the paper's
+   Table 4 / section 5 evaluation.
+
+   Run with:  dune exec examples/livermore_compare.exe [kernel ...] *)
+
+let kernels_to_run () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as ids) -> List.map int_of_string ids
+  | _ -> [ 1; 3; 5; 7; 12 ]
+
+let () =
+  let model = R2000.load () in
+  let kernels = kernels_to_run () in
+  Printf.printf "MIPS R2000, cycles per strategy (lower is better)\n\n";
+  Printf.printf "%-28s %10s %10s %10s %10s\n" "kernel" "naive" "postpass" "ips"
+    "rase";
+  List.iter
+    (fun id ->
+      let k = Livermore.find id in
+      let src = k.Livermore.k_source 1 in
+      let file = Printf.sprintf "lfk%d.c" id in
+      let cycles strat =
+        let r = Marion.compile_and_run model strat ~file src in
+        r.Marion.sim.Sim.cycles
+      in
+      let n = cycles Strategy.Naive in
+      let p = cycles Strategy.Postpass in
+      let i = cycles Strategy.Ips in
+      let r = cycles Strategy.Rase in
+      Printf.printf "%2d %-25s %10d %10d %10d %10d   (sched wins %.1f%%)\n" id
+        k.Livermore.k_name n p i r
+        (100.0 *. (1.0 -. (float_of_int (min i r) /. float_of_int n))))
+    kernels

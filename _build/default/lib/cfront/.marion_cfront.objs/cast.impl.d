@@ -1,0 +1,1 @@
+lib/cfront/cast.ml: Loc Printf

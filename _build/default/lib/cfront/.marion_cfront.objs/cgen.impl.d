@@ -1,0 +1,1 @@
+lib/cfront/cgen.ml: Array Bytes Cast Char Cparse Hashtbl Int32 Int64 Ir List Loc Option Printf String

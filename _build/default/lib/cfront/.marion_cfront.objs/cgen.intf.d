@@ -1,0 +1,1 @@
+lib/cfront/cgen.mli: Cast Ir Loc

@@ -1,0 +1,1 @@
+lib/cfront/clex.ml: Array Buffer List Loc Reader String

@@ -1,0 +1,1 @@
+lib/cfront/cparse.ml: Array Cast Clex List Loc Printf

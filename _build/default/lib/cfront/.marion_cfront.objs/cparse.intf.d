@@ -1,0 +1,1 @@
+lib/cfront/cparse.mli: Cast

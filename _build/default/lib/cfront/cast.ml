@@ -1,0 +1,97 @@
+(* Abstract syntax for the mini-C accepted by the front end: the subset of
+   ANSI C needed by the paper's workloads (Livermore kernels, the compile
+   suite): scalar types, multi-dimensional arrays, pointers, functions,
+   the usual statements and expressions. No structs, unions, enums,
+   typedefs or switch. *)
+
+type cty =
+  | Tvoid
+  | Tchar
+  | Tshort
+  | Tint
+  | Tfloat
+  | Tdouble
+  | Tptr of cty
+  | Tarray of cty * int
+
+let rec cty_to_string = function
+  | Tvoid -> "void"
+  | Tchar -> "char"
+  | Tshort -> "short"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tdouble -> "double"
+  | Tptr t -> cty_to_string t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (cty_to_string t) n
+
+let rec cty_size = function
+  | Tvoid -> 0
+  | Tchar -> 1
+  | Tshort -> 2
+  | Tint | Tfloat | Tptr _ -> 4
+  | Tdouble -> 8
+  | Tarray (t, n) -> n * cty_size t
+
+let rec cty_align = function
+  | Tvoid -> 1
+  | Tchar -> 1
+  | Tshort -> 2
+  | Tint | Tfloat | Tptr _ -> 4
+  | Tdouble -> 8
+  | Tarray (t, _) -> cty_align t
+
+type bop =
+  | Badd | Bsub | Bmul | Bdiv | Brem
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Bland | Blor
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+
+type uop = Uneg | Ubnot | Ulnot | Uderef | Uaddr
+
+type expr = { ek : expr_k; eloc : Loc.t }
+
+and expr_k =
+  | Eint of int
+  | Efloat of float
+  | Echar of char
+  | Estr of string
+  | Eid of string
+  | Ebin of bop * expr * expr
+  | Eassign of bop option * expr * expr  (* lhs (op)= rhs *)
+  | Eun of uop * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Ecast of cty * expr
+  | Econd of expr * expr * expr
+  | Eincdec of { pre : bool; inc : bool; lhs : expr }
+
+type stmt = { sk : stmt_k; sloc : Loc.t }
+
+and stmt_k =
+  | Sexpr of expr
+  | Sdecl of (cty * string * init option) list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Sempty
+
+and init = Iexpr of expr | Ilist of init list
+
+type func_def = {
+  cf_name : string;
+  cf_ret : cty;
+  cf_params : (cty * string) list;
+  cf_body : stmt;
+  cf_loc : Loc.t;
+}
+
+type top =
+  | Tfunc of func_def
+  | Tglobal of cty * string * init option * Loc.t
+
+type tunit = top list

@@ -1,0 +1,21 @@
+(** IL generation: typed lowering of the C AST into {!Ir}, playing the
+    role Lcc plays for Marion in the paper (section 2). Expressions are
+    built as per-block DAGs via hash-consing; after generation every
+    non-leaf node with more than one parent is forced into a temp (a
+    pseudo-register candidate), and unreachable blocks are pruned.
+
+    All typing rules live here: usual arithmetic conversions, pointer
+    scaling, array decay, narrowing-wraps for register-resident
+    char/short values. Raises {!Loc.Error} on type errors. *)
+
+val compile : file:string -> string -> Ir.prog
+(** Parse and lower a whole translation unit. *)
+
+val gen : Cast.tunit -> Ir.prog
+
+val arith_result : Cast.cty -> Cast.cty -> Cast.cty
+(** The usual arithmetic conversions (shared with the interpreter). *)
+
+val init_bytes : Loc.t -> bytes -> int -> Cast.cty -> Cast.init -> unit
+(** Evaluate a constant initializer into a byte image (shared with the
+    interpreter's global loader). *)

@@ -1,0 +1,204 @@
+(* Lexer for the mini-C front end. *)
+
+type kind =
+  | ID of string
+  | KW of string  (* reserved word *)
+  | INT of int
+  | FLOAT of float
+  | CHAR of char
+  | STRING of string
+  | PUNCT of string  (* operators and punctuation, longest match *)
+  | EOF
+
+type token = { kind : kind; loc : Loc.t }
+
+let keywords =
+  [
+    "void"; "char"; "short"; "int"; "long"; "float"; "double";
+    "if"; "else"; "while"; "do"; "for"; "return"; "break"; "continue";
+    "static"; "unsigned"; "signed"; "register"; "const";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || is_digit c
+
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Multi-character punctuation, longest first. *)
+let puncts =
+  [
+    "<<="; ">>="; "..."; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "->";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "["; "]"; "{"; "}"; ";"; ","; "?"; ":"; ".";
+  ]
+
+let rec skip_ws r =
+  Reader.skip_while r (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r');
+  match (Reader.peek r, Reader.peek2 r) with
+  | Some '/', Some '*' ->
+      let loc = Reader.loc r in
+      Reader.advance r;
+      Reader.advance r;
+      let rec close () =
+        match Reader.next r with
+        | None -> Loc.fail loc "unterminated comment"
+        | Some '*' when Reader.peek r = Some '/' -> Reader.advance r
+        | Some _ -> close ()
+      in
+      close ();
+      skip_ws r
+  | Some '/', Some '/' ->
+      Reader.skip_while r (fun c -> c <> '\n');
+      skip_ws r
+  | Some '#', _ ->
+      (* no preprocessor: skip directive lines *)
+      Reader.skip_while r (fun c -> c <> '\n');
+      skip_ws r
+  | (Some _ | None), _ -> ()
+
+let escape loc = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> Loc.fail loc "unknown escape '\\%c'" c
+
+let lex_number r loc =
+  match (Reader.peek r, Reader.peek2 r) with
+  | Some '0', Some ('x' | 'X') ->
+      Reader.advance r;
+      Reader.advance r;
+      let d = Reader.take_while r is_hex in
+      if d = "" then Loc.fail loc "malformed hex literal";
+      INT (int_of_string ("0x" ^ d))
+  | _ -> (
+      let d = Reader.take_while r is_digit in
+      let frac =
+        if
+          Reader.peek r = Some '.'
+          && Reader.peek2 r <> Some '.' (* not '..' *)
+        then begin
+          Reader.advance r;
+          Some (Reader.take_while r is_digit)
+        end
+        else None
+      in
+      let exp =
+        match Reader.peek r with
+        | Some ('e' | 'E') ->
+            Reader.advance r;
+            let sign =
+              match Reader.peek r with
+              | Some ('+' | '-') -> (
+                  match Reader.next r with Some c -> String.make 1 c | None -> "")
+              | Some _ | None -> ""
+            in
+            let ds = Reader.take_while r is_digit in
+            if ds = "" then Loc.fail loc "malformed exponent";
+            Some (sign ^ ds)
+        | Some _ | None -> None
+      in
+      (* trailing suffixes f/F/l/L/u/U are accepted and ignored *)
+      let _ =
+        Reader.take_while r (fun c ->
+            c = 'f' || c = 'F' || c = 'l' || c = 'L' || c = 'u' || c = 'U')
+      in
+      match (frac, exp) with
+      | None, None -> INT (int_of_string d)
+      | _ ->
+          let s =
+            d
+            ^ (match frac with Some f -> "." ^ f | None -> "")
+            ^ match exp with Some e -> "e" ^ e | None -> ""
+          in
+          FLOAT (float_of_string s))
+
+let token r : kind =
+  skip_ws r;
+  let loc = Reader.loc r in
+  match Reader.peek r with
+  | None -> EOF
+  | Some c when is_digit c -> lex_number r loc
+  | Some c when is_id_start c ->
+      let s = Reader.take_while r is_id_char in
+      if List.mem s keywords then KW s else ID s
+  | Some '\'' -> (
+      Reader.advance r;
+      let c =
+        match Reader.next r with
+        | Some '\\' -> (
+            match Reader.next r with
+            | Some e -> escape loc e
+            | None -> Loc.fail loc "unterminated character literal")
+        | Some c -> c
+        | None -> Loc.fail loc "unterminated character literal"
+      in
+      match Reader.next r with
+      | Some '\'' -> CHAR c
+      | Some _ | None -> Loc.fail loc "unterminated character literal")
+  | Some '"' ->
+      Reader.advance r;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match Reader.next r with
+        | None -> Loc.fail loc "unterminated string literal"
+        | Some '"' -> ()
+        | Some '\\' -> (
+            match Reader.next r with
+            | Some e ->
+                Buffer.add_char buf (escape loc e);
+                go ()
+            | None -> Loc.fail loc "unterminated string literal")
+        | Some c ->
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      STRING (Buffer.contents buf)
+  | Some c ->
+      (* longest-match punctuation using two characters of lookahead, with
+         a special case for the three-character <<= and >>= *)
+      let p1 = String.make 1 c in
+      let p2 =
+        match Reader.peek2 r with Some d -> p1 ^ String.make 1 d | None -> p1
+      in
+      let matched =
+        if List.mem p2 puncts && String.length p2 = 2 then begin
+          Reader.advance r;
+          Reader.advance r;
+          (* check for three-char <<= >>= *)
+          if (p2 = "<<" || p2 = ">>") && Reader.peek r = Some '=' then begin
+            Reader.advance r;
+            p2 ^ "="
+          end
+          else p2
+        end
+        else if List.mem p1 puncts then begin
+          Reader.advance r;
+          p1
+        end
+        else Loc.fail loc "unexpected character %C" c
+      in
+      PUNCT matched
+
+let tokenize ~file src =
+  let r = Reader.make ~file src in
+  let toks = ref [] in
+  let rec go () =
+    skip_ws r;
+    let loc = Reader.loc r in
+    match token r with
+    | EOF -> toks := { kind = EOF; loc } :: !toks
+    | k ->
+        toks := { kind = k; loc } :: !toks;
+        go ()
+  in
+  go ();
+  Array.of_list (List.rev !toks)

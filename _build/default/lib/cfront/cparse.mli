@@ -1,0 +1,5 @@
+(** Recursive-descent parser for the mini-C subset (see {!Cast} for what
+    is accepted). Raises {!Loc.Error} with a located message on syntax
+    errors. *)
+
+val parse : file:string -> string -> Cast.tunit

@@ -1,0 +1,488 @@
+open Cast
+
+type result = { output : string; return_value : int }
+
+type value = Vi of int | Vf of float
+
+(* Every object (global or local) lives in one flat byte memory, so
+   pointers are plain integer addresses, exactly as in the compiled code. *)
+type state = {
+  mem : Bytes.t;
+  mutable brk : int;  (* bump allocator for locals *)
+  globals : (string, int * cty) Hashtbl.t;
+  funcs : (string, func_def) Hashtbl.t;
+  out : Buffer.t;
+}
+
+exception Return_exc of value option
+exception Break_exc
+exception Continue_exc
+
+let fail loc fmt = Loc.fail loc fmt
+
+let vi loc = function
+  | Vi n -> n
+  | Vf _ -> fail loc "expected an integer value"
+
+let vf _loc = function Vf f -> f | Vi n -> float_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Typed memory access                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let load st loc addr ty =
+  if addr < 0 || addr + cty_size ty > Bytes.length st.mem then
+    fail loc "load out of bounds at address %d" addr;
+  match ty with
+  | Tchar ->
+      let v = Bytes.get_uint8 st.mem addr in
+      Vi (if v land 0x80 <> 0 then v - 0x100 else v)
+  | Tshort ->
+      let v = Bytes.get_uint16_le st.mem addr in
+      Vi (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | Tint | Tptr _ -> Vi (Int32.to_int (Bytes.get_int32_le st.mem addr))
+  | Tfloat -> Vf (Int32.float_of_bits (Bytes.get_int32_le st.mem addr))
+  | Tdouble -> Vf (Int64.float_of_bits (Bytes.get_int64_le st.mem addr))
+  | Tarray _ -> Vi addr
+  | Tvoid -> fail loc "load of void"
+
+let store st loc addr ty v =
+  if addr < 0 || addr + cty_size ty > Bytes.length st.mem then
+    fail loc "store out of bounds at address %d" addr;
+  match ty with
+  | Tchar -> Bytes.set_uint8 st.mem addr (vi loc v land 0xFF)
+  | Tshort -> Bytes.set_uint16_le st.mem addr (vi loc v land 0xFFFF)
+  | Tint | Tptr _ -> Bytes.set_int32_le st.mem addr (Int32.of_int (vi loc v))
+  | Tfloat -> Bytes.set_int32_le st.mem addr (Int32.bits_of_float (vf loc v))
+  | Tdouble -> Bytes.set_int64_le st.mem addr (Int64.bits_of_float (vf loc v))
+  | Tarray _ | Tvoid -> fail loc "bad store type"
+
+let alloc st loc size align =
+  let brk = (st.brk + align - 1) / align * align in
+  st.brk <- brk + size;
+  if st.brk > Bytes.length st.mem then fail loc "out of memory";
+  brk
+
+(* ------------------------------------------------------------------ *)
+(* Scopes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type frame = { mutable scopes : (string, int * cty) Hashtbl.t list }
+
+let lookup st fr loc name =
+  let rec go = function
+    | [] -> (
+        match Hashtbl.find_opt st.globals name with
+        | Some x -> x
+        | None -> fail loc "undeclared identifier %S" name)
+    | sc :: tl -> (
+        match Hashtbl.find_opt sc name with Some x -> x | None -> go tl)
+  in
+  go fr.scopes
+
+(* ------------------------------------------------------------------ *)
+(* Conversions (match cgen's rules)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let to_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let convert loc v from to_ =
+  match (from, to_) with
+  | a, b when a = b -> v
+  | (Tarray _ | Tptr _ | Tint), (Tptr _ | Tint) -> v
+  | (Tchar | Tshort | Tint), (Tchar | Tshort | Tint) -> (
+      match v with
+      | Vi n -> (
+          match to_ with
+          | Tchar ->
+              let m = n land 0xFF in
+              Vi (if m land 0x80 <> 0 then m - 0x100 else m)
+          | Tshort ->
+              let m = n land 0xFFFF in
+              Vi (if m land 0x8000 <> 0 then m - 0x10000 else m)
+          | _ -> Vi (Ir.sext32 n))
+      | Vf _ -> fail loc "float where int expected")
+  | (Tchar | Tshort | Tint), (Tfloat | Tdouble) ->
+      let f = float_of_int (vi loc v) in
+      Vf (if to_ = Tfloat then to_f32 f else f)
+  | (Tfloat | Tdouble), (Tchar | Tshort | Tint) ->
+      Vi (Ir.sext32 (int_of_float (vf loc v)))
+  | Tfloat, Tdouble -> v
+  | Tdouble, Tfloat -> Vf (to_f32 (vf loc v))
+  | a, b ->
+      fail loc "cannot convert %s to %s" (cty_to_string a) (cty_to_string b)
+
+let arith_result = Cgen.arith_result
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type lv = Lmem of int * cty  (* address, type *)
+
+let truth loc v = match v with Vi n -> n <> 0 | Vf f -> ignore loc; f <> 0.0
+
+let rec eval st fr (e : expr) : value * cty =
+  let loc = e.eloc in
+  match e.ek with
+  | Eint n -> (Vi n, Tint)
+  | Echar c -> (Vi (Char.code c), Tint)
+  | Efloat f -> (Vf f, Tdouble)
+  | Estr _ -> fail loc "string literals are not supported by the interpreter"
+  | Eid name -> (
+      let addr, ty = lookup st fr loc name in
+      match ty with
+      | Tarray _ -> (Vi addr, ty)
+      | _ -> (load st loc addr ty, ty))
+  | Ebin (Bland, a, b) ->
+      let va, _ = eval st fr a in
+      if truth loc va then
+        let vb, _ = eval st fr b in
+        (Vi (if truth loc vb then 1 else 0), Tint)
+      else (Vi 0, Tint)
+  | Ebin (Blor, a, b) ->
+      let va, _ = eval st fr a in
+      if truth loc va then (Vi 1, Tint)
+      else
+        let vb, _ = eval st fr b in
+        (Vi (if truth loc vb then 1 else 0), Tint)
+  | Ebin (op, a, b) -> eval_bin st fr loc op a b
+  | Eassign (None, lhs, rhs) ->
+      let lv = eval_lvalue st fr lhs in
+      let v, vty = eval st fr rhs in
+      let (Lmem (addr, ty)) = lv in
+      let v' = convert loc v vty ty in
+      store st loc addr ty v';
+      (v', ty)
+  | Eassign (Some op, lhs, rhs) ->
+      let (Lmem (addr, ty) as lv) = eval_lvalue st fr lhs in
+      ignore lv;
+      let cur = load st loc addr ty in
+      let v, vty = eval st fr rhs in
+      let res, rty = apply_bin st loc op (cur, ty) (v, vty) in
+      let v' = convert loc res rty ty in
+      store st loc addr ty v';
+      (v', ty)
+  | Eun (Uneg, a) -> (
+      let v, ty = eval st fr a in
+      match v with
+      | Vi n -> (Vi (Ir.sext32 (-n)), arith_result ty Tint)
+      | Vf f -> (Vf (-.f), ty))
+  | Eun (Ubnot, a) ->
+      let v, _ = eval st fr a in
+      (Vi (Ir.sext32 (lnot (vi loc v))), Tint)
+  | Eun (Ulnot, a) ->
+      let v, _ = eval st fr a in
+      (Vi (if truth loc v then 0 else 1), Tint)
+  | Eun (Uderef, a) -> (
+      let v, ty = eval st fr a in
+      match ty with
+      | Tptr (Tarray _ as el) -> (v, el)
+      | Tptr el | Tarray (el, _) -> (load st loc (vi loc v) el, el)
+      | _ -> fail loc "cannot dereference %s" (cty_to_string ty))
+  | Eun (Uaddr, a) ->
+      let (Lmem (addr, ty)) = eval_lvalue st fr a in
+      (Vi addr, Tptr ty)
+  | Ecall (fn, args) -> eval_call st fr loc fn args
+  | Eindex (a, i) -> (
+      let addr, el = eval_index st fr loc a i in
+      match el with
+      | Tarray _ -> (Vi addr, el)
+      | _ -> (load st loc addr el, el))
+  | Ecast (ty, a) ->
+      let v, vty = eval st fr a in
+      (convert loc v vty ty, ty)
+  | Econd (c, a, b) ->
+      let vc, _ = eval st fr c in
+      if truth loc vc then eval st fr a else eval st fr b
+  | Eincdec { pre; inc; lhs } ->
+      let (Lmem (addr, ty)) = eval_lvalue st fr lhs in
+      let cur = load st loc addr ty in
+      let delta =
+        match ty with Tptr el -> cty_size el | _ -> 1
+      in
+      let next, nty =
+        match cur with
+        | Vi n -> (Vi (Ir.sext32 (if inc then n + delta else n - delta)), ty)
+        | Vf f ->
+            let d = 1.0 in
+            (Vf (if inc then f +. d else f -. d), ty)
+      in
+      let next' = convert loc next nty ty in
+      store st loc addr ty next';
+      if pre then (next', ty) else (cur, ty)
+
+and eval_index st fr loc a i =
+  let base, ty = eval st fr a in
+  let idx, _ = eval st fr i in
+  match ty with
+  | Tarray (el, _) | Tptr el ->
+      (vi loc base + (vi loc idx * cty_size el), el)
+  | _ -> fail loc "subscripted value is not an array or pointer"
+
+and eval_lvalue st fr (e : expr) : lv =
+  let loc = e.eloc in
+  match e.ek with
+  | Eid name ->
+      let addr, ty = lookup st fr loc name in
+      Lmem (addr, ty)
+  | Eindex (a, i) ->
+      let addr, el = eval_index st fr loc a i in
+      Lmem (addr, el)
+  | Eun (Uderef, a) -> (
+      let v, ty = eval st fr a in
+      match ty with
+      | Tptr el | Tarray (el, _) -> Lmem (vi loc v, el)
+      | _ -> fail loc "cannot dereference %s" (cty_to_string ty))
+  | _ -> fail loc "expression is not an lvalue"
+
+and apply_bin st loc op (va, ta) (vb, tb) : value * cty =
+  ignore st;
+  let int_op f =
+    let x = vi loc va and y = vi loc vb in
+    (Vi (f x y), Tint)
+  in
+  let arith fi ff =
+    match (ta, tb) with
+    | (Tptr el | Tarray (el, _)), t when is_int_ty t && op = Badd ->
+        (Vi (vi loc va + (vi loc vb * cty_size el)), Tptr el)
+    | t, (Tptr el | Tarray (el, _)) when is_int_ty t && op = Badd ->
+        (Vi (vi loc vb + (vi loc va * cty_size el)), Tptr el)
+    | (Tptr el | Tarray (el, _)), t when is_int_ty t && op = Bsub ->
+        (Vi (vi loc va - (vi loc vb * cty_size el)), Tptr el)
+    | (Tptr el | Tarray (el, _)), (Tptr _ | Tarray _) when op = Bsub ->
+        (Vi ((vi loc va - vi loc vb) / cty_size el), Tint)
+    | _ -> (
+        let rt = arith_result ta tb in
+        match rt with
+        | Tfloat ->
+            (Vf (to_f32 (ff (to_f32 (vf loc va)) (to_f32 (vf loc vb)))), rt)
+        | Tdouble -> (Vf (ff (vf loc va) (vf loc vb)), rt)
+        | _ -> (Vi (Ir.sext32 (fi (vi loc va) (vi loc vb))), Tint))
+  in
+  let cmp rel =
+    let both_int =
+      match (ta, tb) with
+      | (Tfloat | Tdouble), _ | _, (Tfloat | Tdouble) -> false
+      | _ -> true
+    in
+    let c =
+      if both_int then compare (vi loc va) (vi loc vb)
+      else compare (vf loc va) (vf loc vb)
+    in
+    let r =
+      match rel with
+      | Beq -> c = 0
+      | Bne -> c <> 0
+      | Blt -> c < 0
+      | Ble -> c <= 0
+      | Bgt -> c > 0
+      | Bge -> c >= 0
+      | _ -> assert false
+    in
+    (Vi (if r then 1 else 0), Tint)
+  in
+  match op with
+  | Badd -> arith ( + ) ( +. )
+  | Bsub -> arith ( - ) ( -. )
+  | Bmul -> arith ( * ) ( *. )
+  | Bdiv -> (
+      match arith_result ta tb with
+      | Tfloat | Tdouble -> arith (fun _ _ -> 0) ( /. )
+      | _ ->
+          let y = vi loc vb in
+          if y = 0 then fail loc "division by zero";
+          int_op (fun a b -> Ir.sext32 (a / b)))
+  | Brem ->
+      let y = vi loc vb in
+      if y = 0 then fail loc "modulo by zero";
+      int_op (fun a b -> Ir.sext32 (a mod b))
+  | Band -> int_op ( land )
+  | Bor -> int_op ( lor )
+  | Bxor -> int_op ( lxor )
+  | Bshl -> int_op (fun a b -> Ir.sext32 (a lsl (b land 31)))
+  | Bshr -> int_op (fun a b -> Ir.sext32 (a asr (b land 31)))
+  | Beq | Bne | Blt | Ble | Bgt | Bge -> cmp op
+  | Bland | Blor -> fail loc "internal: short-circuit in apply_bin"
+
+and is_int_ty = function Tchar | Tshort | Tint -> true | _ -> false
+
+and eval_bin st fr loc op a b =
+  let va = eval st fr a in
+  let vb = eval st fr b in
+  apply_bin st loc op va vb
+
+and eval_call st fr loc fn args =
+  let vargs = List.map (eval st fr) args in
+  match fn with
+  | "print_int" -> (
+      match vargs with
+      | [ (v, _) ] ->
+          Buffer.add_string st.out (string_of_int (vi loc v));
+          Buffer.add_char st.out '\n';
+          (Vi 0, Tint)
+      | _ -> fail loc "print_int expects one argument")
+  | "print_char" -> (
+      match vargs with
+      | [ (v, _) ] ->
+          Buffer.add_char st.out (Char.chr (vi loc v land 0xFF));
+          (Vi 0, Tint)
+      | _ -> fail loc "print_char expects one argument")
+  | "print_double" -> (
+      match vargs with
+      | [ (v, _) ] ->
+          Buffer.add_string st.out (Printf.sprintf "%.6f\n" (vf loc v));
+          (Vi 0, Tint)
+      | _ -> fail loc "print_double expects one argument")
+  | _ -> (
+      match Hashtbl.find_opt st.funcs fn with
+      | None -> fail loc "call to undefined function %S" fn
+      | Some fd ->
+          if List.length fd.cf_params <> List.length vargs then
+            fail loc "%s expects %d arguments" fn (List.length fd.cf_params);
+          let saved_brk = st.brk in
+          let fr' = { scopes = [ Hashtbl.create 8 ] } in
+          List.iter2
+            (fun (pty, pname) (v, vty) ->
+              let addr = alloc st loc (cty_size pty) (cty_align pty) in
+              store st loc addr pty (convert loc v vty pty);
+              Hashtbl.replace (List.hd fr'.scopes) pname (addr, pty))
+            fd.cf_params vargs;
+          let rv =
+            try
+              exec st fr' fd.cf_body;
+              None
+            with Return_exc v -> v
+          in
+          st.brk <- saved_brk;
+          let ret =
+            match (rv, fd.cf_ret) with
+            | _, Tvoid -> (Vi 0, Tint)
+            | Some v, rt -> (convert loc v rt rt, rt)
+            | None, rt -> (convert loc (Vi 0) Tint rt, rt)
+          in
+          ret)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and exec st fr (s : stmt) : unit =
+  let loc = s.sloc in
+  match s.sk with
+  | Sempty -> ()
+  | Sexpr e -> ignore (eval st fr e)
+  | Sblock ss ->
+      fr.scopes <- Hashtbl.create 8 :: fr.scopes;
+      List.iter (exec st fr) ss;
+      fr.scopes <- List.tl fr.scopes
+  | Sdecl ds ->
+      List.iter
+        (fun (ty, name, init) ->
+          let addr = alloc st loc (max 1 (cty_size ty)) (cty_align ty) in
+          Hashtbl.replace (List.hd fr.scopes) name (addr, ty);
+          match init with
+          | None -> ()
+          | Some i -> exec_init st fr loc addr ty i)
+        ds
+  | Sif (c, a, b) -> (
+      let v, _ = eval st fr c in
+      if truth loc v then exec st fr a
+      else match b with Some b -> exec st fr b | None -> ())
+  | Swhile (c, body) ->
+      let rec go () =
+        let v, _ = eval st fr c in
+        if truth loc v then begin
+          (try exec st fr body with Continue_exc -> ());
+          go ()
+        end
+      in
+      (try go () with Break_exc -> ())
+  | Sdo (body, c) ->
+      let rec go () =
+        (try exec st fr body with Continue_exc -> ());
+        let v, _ = eval st fr c in
+        if truth loc v then go ()
+      in
+      (try go () with Break_exc -> ())
+  | Sfor (init, cond, step, body) ->
+      fr.scopes <- Hashtbl.create 8 :: fr.scopes;
+      (match init with Some i -> exec st fr i | None -> ());
+      let test () =
+        match cond with
+        | None -> true
+        | Some c ->
+            let v, _ = eval st fr c in
+            truth loc v
+      in
+      let rec go () =
+        if test () then begin
+          (try exec st fr body with Continue_exc -> ());
+          (match step with Some e -> ignore (eval st fr e) | None -> ());
+          go ()
+        end
+      in
+      (try go () with Break_exc -> ());
+      fr.scopes <- List.tl fr.scopes
+  | Sreturn None -> raise (Return_exc None)
+  | Sreturn (Some e) ->
+      let v, _ = eval st fr e in
+      raise (Return_exc (Some v))
+  | Sbreak -> raise Break_exc
+  | Scontinue -> raise Continue_exc
+
+and exec_init st fr loc addr ty init =
+  match (init, ty) with
+  | Iexpr e, _ ->
+      let v, vty = eval st fr e in
+      store st loc addr ty (convert loc v vty ty)
+  | Ilist items, Tarray (el, _) ->
+      List.iteri
+        (fun i item -> exec_init st fr loc (addr + (i * cty_size el)) el item)
+        items
+  | Ilist _, _ -> fail loc "brace initializer on scalar"
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(memory_size = 4 * 1024 * 1024) (tu : tunit) : result =
+  let st =
+    {
+      mem = Bytes.make memory_size '\000';
+      brk = 8;  (* keep address 0 unused so null pointers trap *)
+      globals = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      out = Buffer.create 256;
+    }
+  in
+  List.iter
+    (fun top ->
+      match top with
+      | Tfunc fd -> Hashtbl.replace st.funcs fd.cf_name fd
+      | Tglobal (ty, name, init, loc) ->
+          let addr = alloc st loc (max 1 (cty_size ty)) (cty_align ty) in
+          Hashtbl.replace st.globals name (addr, ty);
+          (match init with
+          | None -> ()
+          | Some i ->
+              let b = Bytes.make (max 1 (cty_size ty)) '\000' in
+              Cgen.init_bytes loc b 0 ty i;
+              Bytes.blit b 0 st.mem addr (Bytes.length b)))
+    tu;
+  match Hashtbl.find_opt st.funcs "main" with
+  | None -> fail Loc.dummy "no main function"
+  | Some main ->
+      let fr = { scopes = [ Hashtbl.create 8 ] } in
+      let rv =
+        try
+          exec st fr main.cf_body;
+          None
+        with Return_exc v -> v
+      in
+      let return_value =
+        match rv with Some (Vi n) -> n | Some (Vf f) -> int_of_float f | None -> 0
+      in
+      { output = Buffer.contents st.out; return_value }
+
+let run_source ?memory_size ~file src = run ?memory_size (Cparse.parse ~file src)

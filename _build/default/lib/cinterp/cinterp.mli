@@ -1,0 +1,20 @@
+(** Reference interpreter for the mini-C AST.
+
+    Executes a translation unit directly over a flat byte memory with the
+    same data layout rules as the compiled code (little-endian, 32-bit ints
+    and pointers, IEEE doubles). It is the oracle for differential testing:
+    a program compiled through the whole Marion pipeline and run on the
+    pipeline simulator must produce the same [print_int] / [print_char] /
+    [print_double] output as this interpreter. *)
+
+type result = {
+  output : string;  (** everything printed by the builtins *)
+  return_value : int;  (** main's return value *)
+}
+
+val run : ?memory_size:int -> Cast.tunit -> result
+(** Interpret a translation unit starting from [main]. Raises {!Loc.Error}
+    on dynamic errors (missing main, unbound names, bad types). *)
+
+val run_source : ?memory_size:int -> file:string -> string -> result
+(** Parse then {!run}. *)

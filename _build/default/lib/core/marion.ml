@@ -1,0 +1,32 @@
+type compiled = { prog : Mir.prog; report : Strategy.report }
+
+type run_result = { compiled : compiled; sim : Sim.result }
+
+let load_target ~name ~file src = Builder.load ~name ~file src
+
+let parse_c ~file src = Cparse.parse ~file src
+
+let compile_ir model strategy ir =
+  let prog, report = Strategy.compile model strategy ir in
+  { prog; report }
+
+let compile model strategy ~file src =
+  compile_ir model strategy (Cgen.compile ~file src)
+
+let run ?config { prog; _ } = Sim.run ?config prog
+
+let compile_and_run ?config model strategy ~file src =
+  let compiled = compile model strategy ~file src in
+  { compiled; sim = run ?config compiled }
+
+let interpret ~file src = Cinterp.run_source ~file src
+
+let asm_to_string prog = Format.asprintf "%a" Mir.pp_prog prog
+
+let estimated_cycles { report; _ } (sim : Sim.result) =
+  Hashtbl.fold
+    (fun label freq acc ->
+      match Hashtbl.find_opt report.Strategy.block_estimates label with
+      | Some len -> acc +. (float_of_int len *. float_of_int freq)
+      | None -> acc)
+    sim.Sim.block_freq 0.0

@@ -1,0 +1,56 @@
+(** Marion: a retargetable code generator system for RISCs, reproduced
+    from Bradlee, Henry and Eggers, PLDI 1991.
+
+    This module is the one-stop public API. A machine is described in
+    Maril (parse with {!load_target} or use a built-in from
+    [Marion_targets]); C source is compiled under one of four code
+    generation strategies; the result can be printed as assembly or
+    executed on the description-driven pipeline simulator.
+
+    {[
+      let model = Toyp.load () in
+      let out = Marion.compile_and_run model Strategy.Postpass
+                  ~file:"hello.c" source in
+      print_string out.Marion.sim.Sim.output
+    ]} *)
+
+type compiled = {
+  prog : Mir.prog;  (** the generated machine program *)
+  report : Strategy.report;  (** allocation and scheduling statistics *)
+}
+
+type run_result = {
+  compiled : compiled;
+  sim : Sim.result;  (** simulator outcome *)
+}
+
+val load_target : name:string -> file:string -> string -> Model.t
+(** Parse and build a Maril description. Func escapes must be registered
+    separately (see {!Funcs.register}). *)
+
+val parse_c : file:string -> string -> Cast.tunit
+(** Parse mini-C source. *)
+
+val compile : Model.t -> Strategy.name -> file:string -> string -> compiled
+(** Front end, glue, selection, the chosen strategy, frame layout. *)
+
+val compile_ir : Model.t -> Strategy.name -> Ir.prog -> compiled
+(** Same, starting from IL. *)
+
+val run : ?config:Sim.config -> compiled -> Sim.result
+(** Execute on the pipeline simulator. *)
+
+val compile_and_run :
+  ?config:Sim.config -> Model.t -> Strategy.name -> file:string -> string ->
+  run_result
+
+val interpret : file:string -> string -> Cinterp.result
+(** The reference C interpreter: the differential-testing oracle. *)
+
+val asm_to_string : Mir.prog -> string
+(** Assembly-like rendering of a compiled program. *)
+
+val estimated_cycles : compiled -> Sim.result -> float
+(** The paper's Table 4 methodology: per-block schedule cost estimates
+    combined with execution frequencies from a (simulated) profiling run.
+    Cache effects are deliberately absent from the estimate. *)

@@ -1,0 +1,1 @@
+lib/machine/builder.ml: Array Ast Bitset List Loc Model Option Parser

@@ -1,0 +1,1 @@
+lib/machine/builder.mli: Ast Model

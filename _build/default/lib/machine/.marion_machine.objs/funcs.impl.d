@@ -1,0 +1,1 @@
+lib/machine/funcs.ml: Hashtbl Loc Mir Model

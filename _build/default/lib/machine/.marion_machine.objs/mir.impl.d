@@ -1,0 +1,1 @@
+lib/machine/mir.ml: Array Bytes Format Hashtbl List Model

@@ -1,0 +1,1 @@
+lib/machine/mir.mli: Format Hashtbl Model

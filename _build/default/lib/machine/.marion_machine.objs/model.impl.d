@@ -1,0 +1,1 @@
+lib/machine/model.ml: Array Ast Bitset Format List

@@ -1,0 +1,1 @@
+lib/machine/model.mli: Ast Bitset Format

@@ -1,0 +1,1 @@
+lib/machine/stats.ml: Ast Format List Parser String

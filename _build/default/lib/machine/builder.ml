@@ -1,0 +1,540 @@
+
+
+open Model
+
+(* ------------------------------------------------------------------ *)
+(* Semantics analysis: operand positions read/written, named registers  *)
+(* touched, memory behaviour, control behaviour.                        *)
+(* ------------------------------------------------------------------ *)
+
+type sem_facts = {
+  mutable f_reads : int list;  (* 0-based operand positions *)
+  mutable f_writes : int list;
+  mutable f_rnames : string list;
+  mutable f_wnames : string list;
+  mutable f_loads : bool;
+  mutable f_stores : bool;
+  mutable f_branch : bool;
+  mutable f_call : bool;
+}
+
+let add_uniq x l = if List.mem x l then l else x :: l
+
+let rec scan_expr facts mems (e : Ast.expr) =
+  match e with
+  | Ast.Eint _ | Ast.Eflt _ -> ()
+  | Ast.Eopnd n -> facts.f_reads <- add_uniq (n - 1) facts.f_reads
+  | Ast.Ename s ->
+      if not (List.mem s mems) then facts.f_rnames <- add_uniq s facts.f_rnames
+  | Ast.Emem (_, a) ->
+      facts.f_loads <- true;
+      scan_expr facts mems a
+  | Ast.Ebinop (_, a, b) | Ast.Erel (_, a, b) ->
+      scan_expr facts mems a;
+      scan_expr facts mems b
+  | Ast.Eunop (_, a) | Ast.Ecvt (_, a) -> scan_expr facts mems a
+  | Ast.Ebuiltin (_, args) -> List.iter (scan_expr facts mems) args
+
+let scan_stmt facts mems (s : Ast.stmt) =
+  match s with
+  | Ast.Sassign (lhs, e) -> (
+      scan_expr facts mems e;
+      match lhs with
+      | Ast.Lopnd n -> facts.f_writes <- add_uniq (n - 1) facts.f_writes
+      | Ast.Lname x -> facts.f_wnames <- add_uniq x facts.f_wnames
+      | Ast.Lmem (_, a) ->
+          facts.f_stores <- true;
+          scan_expr facts mems a)
+  | Ast.Sifgoto (c, _) ->
+      scan_expr facts mems c;
+      facts.f_branch <- true
+  | Ast.Sgoto n ->
+      facts.f_branch <- true;
+      (* an indirect jump reads its register operand; the caller filters
+         label operands out *)
+      facts.f_reads <- add_uniq (n - 1) facts.f_reads
+  | Ast.Scall n ->
+      facts.f_branch <- true;
+      facts.f_call <- true;
+      facts.f_reads <- add_uniq (n - 1) facts.f_reads
+  | Ast.Sret -> facts.f_branch <- true
+  | Ast.Snop -> ()
+
+let analyze_sem sem mems =
+  let facts =
+    {
+      f_reads = [];
+      f_writes = [];
+      f_rnames = [];
+      f_wnames = [];
+      f_loads = false;
+      f_stores = false;
+      f_branch = false;
+      f_call = false;
+    }
+  in
+  List.iter (scan_stmt facts mems) sem;
+  facts
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  mutable resources : string list;  (* reversed *)
+  mutable clocks : string list;
+  mutable elements : string list;
+  mutable named_classes : (string * string list) list;
+  mutable regs : (string * Ast.declare_item) list;  (* Dreg only *)
+  mutable equivs : (Ast.reg_ref * Ast.reg_ref * Loc.t) list;
+  mutable defs : def list;
+  mutable labels : labdef list;
+  mutable memories : mem list;
+}
+
+let index_of name l loc what =
+  let rec go i = function
+    | [] -> Loc.fail loc "unknown %s %S" what name
+    | x :: tl -> if x = name then i else go (i + 1) tl
+  in
+  go 0 l
+
+let collect_declare items =
+  let env =
+    {
+      resources = [];
+      clocks = [];
+      elements = [];
+      named_classes = [];
+      regs = [];
+      equivs = [];
+      defs = [];
+      labels = [];
+      memories = [];
+    }
+  in
+  List.iter
+    (fun (it : Ast.declare_item) ->
+      match it with
+      | Ast.Dreg r -> env.regs <- env.regs @ [ (r.name, it) ]
+      | Ast.Dequiv (a, b, loc) -> env.equivs <- env.equivs @ [ (a, b, loc) ]
+      | Ast.Dresource (names, loc) ->
+          List.iter
+            (fun n ->
+              if List.mem n env.resources then
+                Loc.fail loc "duplicate resource %S" n;
+              env.resources <- env.resources @ [ n ])
+            names
+      | Ast.Ddef { name; range; flags; _ } ->
+          env.defs <-
+            env.defs
+            @ [
+                {
+                  d_id = List.length env.defs;
+                  d_name = name;
+                  d_lo = range.lo;
+                  d_hi = range.hi;
+                  d_flags = flags;
+                };
+              ]
+      | Ast.Dlabel { name; range; flags; _ } ->
+          env.labels <-
+            env.labels
+            @ [
+                {
+                  l_id = List.length env.labels;
+                  l_name = name;
+                  l_lo = range.lo;
+                  l_hi = range.hi;
+                  l_relative = List.mem Ast.Frelative flags;
+                };
+              ]
+      | Ast.Dmemory { name; range; _ } ->
+          env.memories <-
+            env.memories
+            @ [
+                {
+                  m_id = List.length env.memories;
+                  m_name = name;
+                  m_lo = range.lo;
+                  m_hi = range.hi;
+                };
+              ]
+      | Ast.Dclock (names, _) -> env.clocks <- env.clocks @ names
+      | Ast.Delement (names, _) -> env.elements <- env.elements @ names
+      | Ast.Dclass { name; elems; _ } ->
+          env.named_classes <- env.named_classes @ [ (name, elems) ])
+    items;
+  env
+
+(* Build register classes with %equiv resolved into shared banks. *)
+let build_classes env =
+  let n = List.length env.regs in
+  let classes = Array.make n None in
+  List.iteri
+    (fun i (_, it) ->
+      match it with
+      | Ast.Dreg { name; range; types; clock; flags; loc } ->
+          let size =
+            match types with
+            | [] -> 4
+            | ts ->
+                List.fold_left (fun m t -> max m (Ast.vtype_size t)) 0 ts
+          in
+          let clock_id =
+            Option.map (fun c -> index_of c env.clocks loc "clock") clock
+          in
+          classes.(i) <-
+            Some
+              {
+                c_id = i;
+                c_name = name;
+                c_size = size;
+                c_lo = range.lo;
+                c_hi = range.hi;
+                c_types = types;
+                c_clock = clock_id;
+                c_temporal = List.mem Ast.Ftemporal flags;
+                c_bank = i;
+                c_base = 0;
+              }
+      | Ast.Dequiv _ | Ast.Dresource _ | Ast.Ddef _ | Ast.Dlabel _
+      | Ast.Dmemory _ | Ast.Dclock _ | Ast.Delement _ | Ast.Dclass _ ->
+          assert false)
+    env.regs;
+  let classes = Array.map Option.get classes in
+  let find_cls name loc =
+    match Array.find_opt (fun c -> c.c_name = name) classes with
+    | Some c -> c
+    | None -> Loc.fail loc "unknown register set %S" name
+  in
+  (* Merge banks per %equiv: align the two references at the same byte. *)
+  List.iter
+    (fun ((a : Ast.reg_ref), (b : Ast.reg_ref), loc) ->
+      let ca = find_cls a.set loc and cb = find_cls b.set loc in
+      let off_a = ca.c_base + ((a.index - ca.c_lo) * ca.c_size) in
+      let off_b = cb.c_base + ((b.index - cb.c_lo) * cb.c_size) in
+      if ca.c_bank = cb.c_bank then begin
+        if off_a <> off_b then
+          Loc.fail loc "%%equiv conflicts with an earlier %%equiv"
+      end
+      else begin
+        let delta = off_a - off_b in
+        let from_bank = cb.c_bank and to_bank = ca.c_bank in
+        Array.iteri
+          (fun i c ->
+            if c.c_bank = from_bank then
+              classes.(i) <-
+                { c with c_bank = to_bank; c_base = c.c_base + delta })
+          classes
+      end)
+    env.equivs;
+  (* Normalise: shift each bank so its minimum base is 0, then compute
+     bank sizes and compact bank ids. *)
+  let bank_ids =
+    Array.to_list classes |> List.map (fun c -> c.c_bank) |> List.sort_uniq compare
+  in
+  let classes =
+    Array.map
+      (fun c ->
+        let min_base =
+          Array.to_list classes
+          |> List.filter (fun d -> d.c_bank = c.c_bank)
+          |> List.fold_left (fun m d -> min m d.c_base) max_int
+        in
+        let new_bank = index_of (string_of_int c.c_bank)
+            (List.map string_of_int bank_ids) Loc.dummy "bank"
+        in
+        { c with c_bank = new_bank; c_base = c.c_base - min_base })
+      classes
+  in
+  let nbanks = List.length bank_ids in
+  let banks = Array.make nbanks 0 in
+  Array.iter
+    (fun c ->
+      let count = c.c_hi - c.c_lo + 1 in
+      banks.(c.c_bank) <- max banks.(c.c_bank) (c.c_base + (count * c.c_size)))
+    classes;
+  (classes, banks)
+
+let resolve_reg_ref classes (r : Ast.reg_ref) loc =
+  match Array.find_opt (fun c -> c.c_name = r.set) classes with
+  | None -> Loc.fail loc "unknown register set %S" r.set
+  | Some c ->
+      if r.index < c.c_lo || r.index > c.c_hi then
+        Loc.fail loc "register %s[%d] out of range [%d:%d]" r.set r.index
+          c.c_lo c.c_hi;
+      { cls = c.c_id; idx = r.index }
+
+let resolve_reg_range classes (r : Ast.reg_range) loc =
+  match Array.find_opt (fun c -> c.c_name = r.rset) classes with
+  | None -> Loc.fail loc "unknown register set %S" r.rset
+  | Some c ->
+      if r.rlo < c.c_lo || r.rhi > c.c_hi || r.rlo > r.rhi then
+        Loc.fail loc "register range %s[%d:%d] invalid" r.rset r.rlo r.rhi;
+      List.init (r.rhi - r.rlo + 1) (fun i -> { cls = c.c_id; idx = r.rlo + i })
+
+let build_cwvm classes items =
+  let general = ref [] in
+  let allocable = ref [] in
+  let calleesave = ref [] in
+  let sp = ref None and fp = ref None and gp = ref None in
+  let retaddr = ref None in
+  let sp_down = ref true in
+  let hard = ref [] in
+  let args = ref [] in
+  let results = ref [] in
+  List.iter
+    (fun (it : Ast.cwvm_item) ->
+      match it with
+      | Ast.Cgeneral (t, name, loc) -> (
+          match Array.find_opt (fun c -> c.c_name = name) classes with
+          | None -> Loc.fail loc "unknown register set %S" name
+          | Some c -> general := !general @ [ (t, c.c_id) ])
+      | Ast.Callocable (rs, loc) ->
+          allocable :=
+            !allocable
+            @ List.concat_map (fun r -> resolve_reg_range classes r loc) rs
+      | Ast.Ccalleesave (rs, loc) ->
+          calleesave :=
+            !calleesave
+            @ List.concat_map (fun r -> resolve_reg_range classes r loc) rs
+      | Ast.Csp (r, flags, loc) ->
+          sp := Some (resolve_reg_ref classes r loc);
+          if List.mem Ast.Fdown flags then sp_down := true
+      | Ast.Cfp (r, flags, loc) ->
+          fp := Some (resolve_reg_ref classes r loc);
+          ignore flags
+      | Ast.Cgp (r, loc) -> gp := Some (resolve_reg_ref classes r loc)
+      | Ast.Cretaddr (r, loc) -> retaddr := Some (resolve_reg_ref classes r loc)
+      | Ast.Chard (r, v, loc) ->
+          hard := !hard @ [ (resolve_reg_ref classes r loc, v) ]
+      | Ast.Carg (t, r, n, loc) ->
+          args := !args @ [ (t, resolve_reg_ref classes r loc, n) ]
+      | Ast.Cresult (r, t, loc) ->
+          results := !results @ [ (resolve_reg_ref classes r loc, t) ])
+    items;
+  let require what = function
+    | Some x -> x
+    | None -> Loc.fail Loc.dummy "cwvm is missing %%%s" what
+  in
+  {
+    v_general = !general;
+    v_allocable = !allocable;
+    v_calleesave = !calleesave;
+    v_sp = require "sp" !sp;
+    v_fp = require "fp" !fp;
+    v_gp = !gp;
+    v_retaddr = require "retaddr" !retaddr;
+    v_sp_down = !sp_down;
+    v_hard = !hard;
+    v_args = !args;
+    v_results = !results;
+  }
+
+(* Validate that every $n / name / memory reference in a semantics tree is
+   meaningful for this instruction. *)
+let validate_sem classes memories arity (d : Ast.instr_decl) =
+  let check_opnd n =
+    if n < 1 || n > arity then
+      Loc.fail d.i_loc "instruction %s: $%d out of range (%d operands)"
+        d.i_name n arity
+  in
+  let check_name s =
+    if
+      (not (Array.exists (fun c -> c.c_name = s) classes))
+      && not (List.exists (fun m -> m.m_name = s) memories)
+    then Loc.fail d.i_loc "instruction %s: unknown name %S in semantics" d.i_name s
+  in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Ast.Eint _ | Ast.Eflt _ -> ()
+    | Ast.Eopnd n -> check_opnd n
+    | Ast.Ename s -> check_name s
+    | Ast.Emem (m, a) ->
+        if not (List.exists (fun mm -> mm.m_name = m) memories) then
+          Loc.fail d.i_loc "instruction %s: unknown memory %S" d.i_name m;
+        expr a
+    | Ast.Ebinop (_, a, b) | Ast.Erel (_, a, b) ->
+        expr a;
+        expr b
+    | Ast.Eunop (_, a) | Ast.Ecvt (_, a) -> expr a
+    | Ast.Ebuiltin (_, args) -> List.iter expr args
+  in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Sassign (Ast.Lopnd n, e) ->
+          check_opnd n;
+          expr e
+      | Ast.Sassign (Ast.Lname x, e) ->
+          check_name x;
+          expr e
+      | Ast.Sassign (Ast.Lmem (m, a), e) ->
+          if not (List.exists (fun mm -> mm.m_name = m) memories) then
+            Loc.fail d.i_loc "instruction %s: unknown memory %S" d.i_name m;
+          expr a;
+          expr e
+      | Ast.Sifgoto (c, n) ->
+          expr c;
+          check_opnd n
+      | Ast.Sgoto n | Ast.Scall n -> check_opnd n
+      | Ast.Sret | Ast.Snop -> ())
+    d.i_sem
+
+let build (desc : Ast.description) =
+  let env = collect_declare desc.d_declare in
+  let classes, banks = build_classes env in
+  let nres = List.length env.resources in
+  let resource_id name loc = index_of name env.resources loc "resource" in
+  let cwvm = build_cwvm classes desc.d_cwvm in
+  let defs = Array.of_list env.defs in
+  let labels = Array.of_list env.labels in
+  let memories = Array.of_list env.memories in
+  let elements = Array.of_list env.elements in
+  let element_id name loc = index_of name env.elements loc "class element" in
+  let named_classes =
+    Array.of_list
+      (List.map
+         (fun (name, elems) ->
+           let bs = Bitset.create (Array.length elements) in
+           List.iter (fun e -> Bitset.set bs (element_id e Loc.dummy)) elems;
+           (name, bs))
+         env.named_classes)
+  in
+  let mem_names = Array.to_list memories |> List.map (fun m -> m.m_name) in
+  let resolve_okind (d : Ast.instr_decl) (o : Ast.operand_kind) =
+    match o with
+    | Ast.Oreg name -> (
+        match Array.find_opt (fun c -> c.c_name = name) classes with
+        | Some c -> Kreg c.c_id
+        | None -> Loc.fail d.i_loc "instruction %s: unknown register set %S"
+                    d.i_name name)
+    | Ast.Oregfix r -> Kregfix (resolve_reg_ref classes r d.i_loc)
+    | Ast.Ohash name -> (
+        match Array.find_opt (fun df -> df.d_name = name) defs with
+        | Some df -> Kimm df.d_id
+        | None -> (
+            match Array.find_opt (fun l -> l.l_name = name) labels with
+            | Some l -> Klab l.l_id
+            | None ->
+                Loc.fail d.i_loc
+                  "instruction %s: #%s names neither a %%def nor a %%label"
+                  d.i_name name))
+  in
+  let build_instr id (d : Ast.instr_decl) =
+    let opnds = Array.of_list (List.map (resolve_okind d) d.i_operands) in
+    validate_sem classes (Array.to_list memories) (Array.length opnds) d;
+    let rvec =
+      Array.of_list
+        (List.map
+           (fun cycle ->
+             let bs = Bitset.create nres in
+             List.iter (fun r -> Bitset.set bs (resource_id r d.i_loc)) cycle;
+             bs)
+           d.i_rvec)
+    in
+    let klass =
+      Option.map
+        (fun names ->
+          let bs = Bitset.create (Array.length elements) in
+          List.iter
+            (fun n ->
+              match
+                Array.find_opt (fun (cn, _) -> cn = n) named_classes
+              with
+              | Some (_, set) -> Bitset.union_into ~dst:bs set
+              | None -> Bitset.set bs (element_id n d.i_loc))
+            names;
+          bs)
+        d.i_class
+    in
+    let affects =
+      Option.map (fun c -> index_of c env.clocks d.i_loc "clock") d.i_clock
+    in
+    let facts = analyze_sem d.i_sem mem_names in
+    let is_reg_opnd p =
+      p >= 0
+      && p < Array.length opnds
+      &&
+      match opnds.(p) with
+      | Kreg _ | Kregfix _ -> true
+      | Kimm _ | Klab _ -> false
+    in
+    let name_class s =
+      match Array.find_opt (fun c -> c.c_name = s) classes with
+      | Some c -> Some c.c_id
+      | None -> None
+    in
+    {
+      i_id = id;
+      i_name = d.i_name;
+      i_escape = d.i_escape;
+      i_tag = d.i_tag;
+      i_move = d.i_move;
+      i_opnds = opnds;
+      i_type = d.i_type;
+      i_affects = affects;
+      i_sem = d.i_sem;
+      i_rvec = rvec;
+      i_cost = d.i_cost;
+      i_latency = d.i_latency;
+      i_slots = d.i_slots;
+      i_class = klass;
+      i_writes = List.filter is_reg_opnd facts.f_writes;
+      i_reads = List.filter is_reg_opnd facts.f_reads;
+      i_wnames = List.filter_map name_class facts.f_wnames;
+      i_rnames = List.filter_map name_class facts.f_rnames;
+      i_loads = facts.f_loads;
+      i_stores = facts.f_stores;
+      i_branch = facts.f_branch;
+      i_call = facts.f_call;
+    }
+  in
+  let instrs = ref [] and auxes = ref [] and glues = ref [] in
+  List.iter
+    (fun (it : Ast.instr_item) ->
+      match it with
+      | Ast.Iinstr d ->
+          instrs := !instrs @ [ build_instr (List.length !instrs) d ]
+      | Ast.Iaux a ->
+          auxes :=
+            !auxes
+            @ [
+                {
+                  x_first = a.a_first;
+                  x_second = a.a_second;
+                  x_cond = a.a_cond;
+                  x_latency = a.a_latency;
+                };
+              ]
+      | Ast.Iglue g -> glues := !glues @ [ g ])
+    desc.d_instr;
+  let instrs = Array.of_list !instrs in
+  (* %aux mnemonics must name real instructions. *)
+  List.iter
+    (fun x ->
+      let exists n = Array.exists (fun i -> i.i_name = n) instrs in
+      if not (exists x.x_first) then
+        Loc.fail Loc.dummy "%%aux refers to unknown instruction %S" x.x_first;
+      if not (exists x.x_second) then
+        Loc.fail Loc.dummy "%%aux refers to unknown instruction %S" x.x_second)
+    !auxes;
+  {
+    name = desc.d_name;
+    resources = Array.of_list env.resources;
+    banks;
+    classes;
+    defs;
+    labels;
+    memories;
+    clocks = Array.of_list env.clocks;
+    elements;
+    named_classes;
+    instrs;
+    auxes = !auxes;
+    glues = !glues;
+    cwvm;
+  }
+
+let load ~name ~file src = build (Parser.parse ~name ~file src)

@@ -1,0 +1,16 @@
+(** Compiling a parsed Maril description into a {!Model.t}.
+
+    This is the reproduction of the paper's code generator generator (CGG):
+    it validates the description and produces the tables (register classes
+    with %equiv aliasing resolved to shared byte banks, resource vectors as
+    bit sets, operand kinds, packing classes, derived read/write/branch
+    facts) that the target-independent back end consumes. *)
+
+val build : Ast.description -> Model.t
+(** Raises {!Loc.Error} with a located message on any inconsistency:
+    unknown resource / class / clock / element names, %equiv between
+    unknown registers, operand indices out of range in semantics, missing
+    %sp / %fp / %retaddr, and so on. *)
+
+val load : name:string -> file:string -> string -> Model.t
+(** [load ~name ~file src] parses and builds in one step. *)

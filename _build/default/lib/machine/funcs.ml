@@ -1,0 +1,28 @@
+(* Registry of *func escapes (paper 3.4).
+
+   A Maril description can declare an instruction as [*name], deferring its
+   expansion to a user-written function that produces a sequence of
+   individually schedulable instructions. In the paper these are C
+   functions calling routines exported by Marion; here they are OCaml
+   functions registered against a (machine, func) pair by each target
+   module. *)
+
+type expander = Mir.func -> Mir.operand array -> Mir.inst list
+(** An expander receives the enclosing MIR function (for fresh
+    pseudo-registers and instruction ids) and the bound operands of the
+    escape, and returns the replacement instruction sequence. *)
+
+let table : (string, expander) Hashtbl.t = Hashtbl.create 16
+
+let key model name = model.Model.name ^ ":" ^ name
+
+let register model ~name fn = Hashtbl.replace table (key model name) fn
+
+let find model name = Hashtbl.find_opt table (key model name)
+
+let expand model fn ~name ops =
+  match find model name with
+  | Some f -> f fn ops
+  | None ->
+      Loc.fail Loc.dummy "no *func expander registered for %s on %s" name
+        model.Model.name

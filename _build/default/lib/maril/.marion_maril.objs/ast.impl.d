@@ -1,0 +1,1 @@
+lib/maril/ast.ml: Format Loc

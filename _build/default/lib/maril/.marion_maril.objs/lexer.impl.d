@@ -1,0 +1,1 @@
+lib/maril/lexer.ml: Array List Loc Option Reader Token

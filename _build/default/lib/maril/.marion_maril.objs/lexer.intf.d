@@ -1,0 +1,1 @@
+lib/maril/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/maril/parser.ml: Array Ast Lexer List Loc Option String Token

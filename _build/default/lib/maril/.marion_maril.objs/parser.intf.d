@@ -1,0 +1,1 @@
+lib/maril/parser.mli: Ast

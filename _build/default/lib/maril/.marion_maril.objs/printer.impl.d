@@ -1,0 +1,1 @@
+lib/maril/printer.ml: Ast Format List

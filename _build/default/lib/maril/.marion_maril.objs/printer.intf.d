@@ -1,0 +1,1 @@
+lib/maril/printer.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/maril/token.ml: Loc Printf

@@ -1,0 +1,250 @@
+(* Abstract syntax for Maril, the Marion machine description language
+   (paper section 3). A description has three sections: [declare] for
+   architectural features, [cwvm] for the Compiler Writer's Virtual Machine
+   (runtime model), and [instr] for the instruction list with scheduling
+   properties, auxiliary latencies and glue transformations. *)
+
+type ident = string
+
+type range = { lo : int; hi : int }
+
+(* Maril supports the signed C native types (paper 3.1). *)
+type vtype = Char | Short | Int | Long | Float | Double
+
+type flag =
+  | Frelative  (* +relative : pc-relative branch offset *)
+  | Fdown      (* +down : stack grows downward *)
+  | Ftemporal  (* +temporal : latch register of an explicitly advanced pipe *)
+  | Fabs       (* +abs : %def matches a relocatable (symbol) address *)
+  | Fhi        (* +hi : %def matches the high half of a 32-bit constant *)
+  | Flo        (* +lo : %def matches the low half of a 32-bit constant *)
+
+type reg_ref = { set : ident; index : int }
+
+type reg_range = { rset : ident; rlo : int; rhi : int }
+
+type declare_item =
+  | Dreg of {
+      name : ident;
+      range : range;
+      types : vtype list;
+      clock : ident option;  (* temporal registers name their clock *)
+      flags : flag list;
+      loc : Loc.t;
+    }
+  | Dequiv of reg_ref * reg_ref * Loc.t  (* two views of the same storage *)
+  | Dresource of ident list * Loc.t
+  | Ddef of { name : ident; range : range; flags : flag list; loc : Loc.t }
+  | Dlabel of { name : ident; range : range; flags : flag list; loc : Loc.t }
+  | Dmemory of { name : ident; range : range; loc : Loc.t }
+  | Dclock of ident list * Loc.t
+  | Delement of ident list * Loc.t  (* long-instruction-word class elements *)
+  | Dclass of { name : ident; elems : ident list; loc : Loc.t }
+
+type cwvm_item =
+  | Cgeneral of vtype * ident * Loc.t
+  | Callocable of reg_range list * Loc.t
+  | Ccalleesave of reg_range list * Loc.t
+  | Csp of reg_ref * flag list * Loc.t
+  | Cfp of reg_ref * flag list * Loc.t
+  | Cgp of reg_ref * Loc.t
+  | Cretaddr of reg_ref * Loc.t
+  | Chard of reg_ref * int * Loc.t
+  | Carg of vtype * reg_ref * int * Loc.t
+  | Cresult of reg_ref * vtype * Loc.t
+
+(* Semantics / pattern expressions: the braced single-assignment C
+   expression of an %instr directive. The same tree is used to derive
+   selection patterns and to execute instructions in the simulator. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr | Sar
+  | Cmp  (* '::' the generic compare operator *)
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge | Ltu | Geu
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Eint of int
+  | Eflt of float
+  | Eopnd of int  (* $n, 1-based instruction operand *)
+  | Ename of ident  (* temporal register or other named storage *)
+  | Emem of ident * expr  (* m[addr] *)
+  | Ebinop of binop * expr * expr
+  | Erel of relop * expr * expr
+  | Eunop of unop * expr
+  | Ecvt of vtype * expr  (* type conversion built-in *)
+  | Ebuiltin of ident * expr list  (* high, low, eval, ... *)
+
+type lhs =
+  | Lopnd of int
+  | Lname of ident
+  | Lmem of ident * expr
+
+type stmt =
+  | Sassign of lhs * expr
+  | Sifgoto of expr * int  (* if (cond) goto $n *)
+  | Sgoto of int  (* goto $n : $n is a label or register operand *)
+  | Scall of int  (* call $n : save return address, jump *)
+  | Sret  (* return through the CWVM return-address register *)
+  | Snop
+
+type operand_kind =
+  | Oreg of ident  (* register set, e.g. [r] *)
+  | Oregfix of reg_ref  (* a specific register, e.g. [r[0]] *)
+  | Ohash of ident  (* #name : a %def immediate or %label, resolved later *)
+
+type instr_decl = {
+  i_name : ident;
+  i_escape : bool;  (* '*name' func escapes expand to instruction sequences *)
+  i_move : bool;  (* declared with %move *)
+  i_tag : ident option;  (* '[s.movs]' reference tag for func escapes *)
+  i_operands : operand_kind list;
+  i_type : vtype option;
+  i_clock : ident option;  (* instructions that affect an EAP clock *)
+  i_sem : stmt list;
+  i_rvec : ident list list;  (* resources needed per cycle after issue *)
+  i_cost : int;
+  i_latency : int;
+  i_slots : int;
+  i_class : ident list option;  (* packing class: element set or class names *)
+  i_loc : Loc.t;
+}
+
+(* %aux first : second (i.$a == j.$b) (latency) overrides the normal latency
+   of [first] when the result feeds [second] and the operand condition
+   holds (paper 3.3). *)
+type aux_cond = { left : int * int; right : int * int }
+
+type aux_decl = {
+  a_first : ident;
+  a_second : ident;
+  a_cond : aux_cond option;
+  a_latency : int;
+  a_loc : Loc.t;
+}
+
+(* %glue tree-to-tree IL transformation applied before code selection. *)
+type glue_decl = {
+  g_operands : operand_kind list;
+  g_lhs : expr;
+  g_rhs : expr;
+  g_loc : Loc.t;
+}
+
+type instr_item =
+  | Iinstr of instr_decl
+  | Iaux of aux_decl
+  | Iglue of glue_decl
+
+type description = {
+  d_name : string;
+  d_declare : declare_item list;
+  d_cwvm : cwvm_item list;
+  d_instr : instr_item list;  (* order is significant: first match wins *)
+}
+
+let vtype_to_string = function
+  | Char -> "char"
+  | Short -> "short"
+  | Int -> "int"
+  | Long -> "long"
+  | Float -> "float"
+  | Double -> "double"
+
+let vtype_of_string = function
+  | "char" -> Some Char
+  | "short" -> Some Short
+  | "int" -> Some Int
+  | "long" -> Some Long
+  | "float" -> Some Float
+  | "double" -> Some Double
+  | _ -> None
+
+let vtype_size = function
+  | Char -> 1
+  | Short -> 2
+  | Int | Long | Float -> 4
+  | Double -> 8
+
+let flag_to_string = function
+  | Frelative -> "+relative"
+  | Fdown -> "+down"
+  | Ftemporal -> "+temporal"
+  | Fabs -> "+abs"
+  | Fhi -> "+hi"
+  | Flo -> "+lo"
+
+let flag_of_string = function
+  | "relative" -> Some Frelative
+  | "down" -> Some Fdown
+  | "temporal" -> Some Ftemporal
+  | "abs" -> Some Fabs
+  | "hi" -> Some Fhi
+  | "lo" -> Some Flo
+  | _ -> None
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>>"
+  | Sar -> ">>"
+  | Cmp -> "::"
+
+let relop_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Ltu -> "<u"
+  | Geu -> ">=u"
+
+let rec pp_expr ppf e =
+  let open Format in
+  match e with
+  | Eint n -> fprintf ppf "%d" n
+  | Eflt f -> fprintf ppf "%g" f
+  | Eopnd n -> fprintf ppf "$%d" n
+  | Ename s -> pp_print_string ppf s
+  | Emem (m, e) -> fprintf ppf "%s[%a]" m pp_expr e
+  | Ebinop (op, a, b) ->
+      fprintf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Erel (op, a, b) ->
+      fprintf ppf "(%a %s %a)" pp_expr a (relop_to_string op) pp_expr b
+  | Eunop (Neg, a) -> fprintf ppf "(-%a)" pp_expr a
+  | Eunop (Bnot, a) -> fprintf ppf "(~%a)" pp_expr a
+  | Eunop (Lnot, a) -> fprintf ppf "(!%a)" pp_expr a
+  | Ecvt (t, a) -> fprintf ppf "%s(%a)" (vtype_to_string t) pp_expr a
+  | Ebuiltin (f, args) ->
+      fprintf ppf "%s(%a)" f
+        (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp_expr)
+        args
+
+let pp_stmt ppf s =
+  let open Format in
+  match s with
+  | Sassign (Lopnd n, e) -> fprintf ppf "$%d = %a;" n pp_expr e
+  | Sassign (Lname x, e) -> fprintf ppf "%s = %a;" x pp_expr e
+  | Sassign (Lmem (m, a), e) ->
+      fprintf ppf "%s[%a] = %a;" m pp_expr a pp_expr e
+  | Sifgoto (c, n) -> fprintf ppf "if (%a) goto $%d;" pp_expr c n
+  | Sgoto n -> fprintf ppf "goto $%d;" n
+  | Scall n -> fprintf ppf "call $%d;" n
+  | Sret -> pp_print_string ppf "ret;"
+  | Snop -> pp_print_string ppf "nop;"
+
+let pp_operand_kind ppf = function
+  | Oreg s -> Format.pp_print_string ppf s
+  | Oregfix { set; index } -> Format.fprintf ppf "%s[%d]" set index
+  | Ohash s -> Format.fprintf ppf "#%s" s

@@ -1,0 +1,6 @@
+(** Hand-written lexer for Maril descriptions. *)
+
+val tokenize : file:string -> string -> Token.t array
+(** [tokenize ~file src] lexes a whole description. C-style comments
+    are skipped. Raises {!Loc.Error} on malformed input. The result is
+    terminated by an {!Token.EOF} token. *)

@@ -1,0 +1,760 @@
+open Ast
+
+type state = { toks : Token.t array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+
+let cur_kind st = (cur st).Token.kind
+
+let cur_loc st = (cur st).Token.loc
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let err st fmt = Loc.fail (cur_loc st) fmt
+
+let expect st kind =
+  if cur_kind st = kind then advance st
+  else
+    err st "expected %s but found %s" (Token.to_string kind)
+      (Token.to_string (cur_kind st))
+
+let expect_ident st =
+  match cur_kind st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | k -> err st "expected identifier but found %s" (Token.to_string k)
+
+let expect_int st =
+  match cur_kind st with
+  | Token.INT n ->
+      advance st;
+      n
+  | Token.MINUS -> (
+      advance st;
+      match cur_kind st with
+      | Token.INT n ->
+          advance st;
+          -n
+      | k -> err st "expected integer but found %s" (Token.to_string k))
+  | k -> err st "expected integer but found %s" (Token.to_string k)
+
+let expect_vtype st =
+  let loc = cur_loc st in
+  let s = expect_ident st in
+  match vtype_of_string s with
+  | Some t -> t
+  | None -> Loc.fail loc "unknown type %S" s
+
+let parse_flags st =
+  let rec go acc =
+    match cur_kind st with
+    | Token.PLUSFLAG f -> (
+        let loc = cur_loc st in
+        advance st;
+        match flag_of_string f with
+        | Some flag -> go (flag :: acc)
+        | None -> Loc.fail loc "unknown flag +%s" f)
+    | _ -> List.rev acc
+  in
+  go []
+
+(* name [ lo : hi ] *)
+let parse_range st =
+  expect st Token.LBRACK;
+  let lo = expect_int st in
+  expect st Token.COLON;
+  let hi = expect_int st in
+  expect st Token.RBRACK;
+  { lo; hi }
+
+(* name [ idx ] *)
+let parse_reg_ref st =
+  let set = expect_ident st in
+  expect st Token.LBRACK;
+  let index = expect_int st in
+  expect st Token.RBRACK;
+  { set; index }
+
+(* name [ lo (: hi)? ] *)
+let parse_reg_range st =
+  let rset = expect_ident st in
+  expect st Token.LBRACK;
+  let rlo = expect_int st in
+  let rhi =
+    if cur_kind st = Token.COLON then begin
+      advance st;
+      expect_int st
+    end
+    else rlo
+  in
+  expect st Token.RBRACK;
+  { rset; rlo; rhi }
+
+let comma_list st f =
+  let rec go acc =
+    let x = f st in
+    if cur_kind st = Token.COMMA then begin
+      advance st;
+      go (x :: acc)
+    end
+    else List.rev (x :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Semantics expressions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr_prec st =
+  parse_equality st
+
+and parse_equality st =
+  let rec go lhs =
+    match cur_kind st with
+    | Token.EQEQ ->
+        advance st;
+        go (Erel (Eq, lhs, parse_relational st))
+    | Token.NE ->
+        advance st;
+        go (Erel (Ne, lhs, parse_relational st))
+    | _ -> lhs
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go lhs =
+    match cur_kind st with
+    | Token.LT ->
+        advance st;
+        go (Erel (Lt, lhs, parse_bitor st))
+    | Token.LE ->
+        advance st;
+        go (Erel (Le, lhs, parse_bitor st))
+    | Token.GT ->
+        advance st;
+        go (Erel (Gt, lhs, parse_bitor st))
+    | Token.GE ->
+        advance st;
+        go (Erel (Ge, lhs, parse_bitor st))
+    | Token.COLONCOLON ->
+        advance st;
+        go (Ebinop (Cmp, lhs, parse_bitor st))
+    | _ -> lhs
+  in
+  go (parse_bitor st)
+
+and parse_bitor st =
+  let rec go lhs =
+    if cur_kind st = Token.BAR then begin
+      advance st;
+      go (Ebinop (Or, lhs, parse_bitxor st))
+    end
+    else lhs
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go lhs =
+    if cur_kind st = Token.CARET then begin
+      advance st;
+      go (Ebinop (Xor, lhs, parse_bitand st))
+    end
+    else lhs
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go lhs =
+    if cur_kind st = Token.AMP then begin
+      advance st;
+      go (Ebinop (And, lhs, parse_shift st))
+    end
+    else lhs
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go lhs =
+    match cur_kind st with
+    | Token.SHL ->
+        advance st;
+        go (Ebinop (Shl, lhs, parse_additive st))
+    | Token.SHR ->
+        advance st;
+        go (Ebinop (Sar, lhs, parse_additive st))
+    | Token.SHRU ->
+        advance st;
+        go (Ebinop (Shr, lhs, parse_additive st))
+    | _ -> lhs
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go lhs =
+    match cur_kind st with
+    | Token.PLUS ->
+        advance st;
+        go (Ebinop (Add, lhs, parse_multiplicative st))
+    | Token.MINUS ->
+        advance st;
+        go (Ebinop (Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go lhs =
+    match cur_kind st with
+    | Token.STAR ->
+        advance st;
+        go (Ebinop (Mul, lhs, parse_unary st))
+    | Token.SLASH ->
+        advance st;
+        go (Ebinop (Div, lhs, parse_unary st))
+    | Token.PERCENT ->
+        advance st;
+        go (Ebinop (Rem, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match cur_kind st with
+  | Token.MINUS ->
+      advance st;
+      Eunop (Neg, parse_unary st)
+  | Token.TILDE ->
+      advance st;
+      Eunop (Bnot, parse_unary st)
+  | Token.BANG ->
+      advance st;
+      Eunop (Lnot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match cur_kind st with
+  | Token.INT n ->
+      advance st;
+      Eint n
+  | Token.FLOAT f ->
+      advance st;
+      Eflt f
+  | Token.DOLLAR n ->
+      advance st;
+      Eopnd n
+  | Token.IDENT name -> (
+      advance st;
+      match cur_kind st with
+      | Token.LBRACK ->
+          advance st;
+          let idx = parse_expr_prec st in
+          expect st Token.RBRACK;
+          Emem (name, idx)
+      | Token.LPAREN -> (
+          advance st;
+          let args =
+            if cur_kind st = Token.RPAREN then []
+            else comma_list st parse_expr_prec
+          in
+          expect st Token.RPAREN;
+          match vtype_of_string name with
+          | Some t -> (
+              match args with
+              | [ e ] -> Ecvt (t, e)
+              | _ -> err st "type conversion %s takes one argument" name)
+          | None -> Ebuiltin (name, args))
+      | _ -> Ename name)
+  | Token.LPAREN -> (
+      advance st;
+      (* Cast syntax: ( vtype ) expr *)
+      match cur_kind st with
+      | Token.IDENT s
+        when vtype_of_string s <> None
+             && st.toks.(st.pos + 1).Token.kind = Token.RPAREN ->
+          advance st;
+          advance st;
+          let t = Option.get (vtype_of_string s) in
+          Ecvt (t, parse_unary st)
+      | _ ->
+          let e = parse_expr_prec st in
+          expect st Token.RPAREN;
+          e)
+  | k -> err st "expected expression but found %s" (Token.to_string k)
+
+let parse_dollar st =
+  match cur_kind st with
+  | Token.DOLLAR n ->
+      advance st;
+      n
+  | k -> err st "expected $n operand but found %s" (Token.to_string k)
+
+let parse_stmt st =
+  match cur_kind st with
+  | Token.IDENT "if" ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr_prec st in
+      expect st Token.RPAREN;
+      (match cur_kind st with
+      | Token.IDENT "goto" -> advance st
+      | k -> err st "expected 'goto' but found %s" (Token.to_string k));
+      let n = parse_dollar st in
+      expect st Token.SEMI;
+      Sifgoto (cond, n)
+  | Token.IDENT "goto" ->
+      advance st;
+      let n = parse_dollar st in
+      expect st Token.SEMI;
+      Sgoto n
+  | Token.IDENT "call" ->
+      advance st;
+      let n = parse_dollar st in
+      expect st Token.SEMI;
+      Scall n
+  | Token.IDENT "ret" ->
+      advance st;
+      expect st Token.SEMI;
+      Sret
+  | Token.IDENT "nop" ->
+      advance st;
+      expect st Token.SEMI;
+      Snop
+  | Token.DOLLAR n ->
+      advance st;
+      expect st Token.ASSIGN;
+      let e = parse_expr_prec st in
+      expect st Token.SEMI;
+      Sassign (Lopnd n, e)
+  | Token.IDENT name -> (
+      advance st;
+      match cur_kind st with
+      | Token.LBRACK ->
+          advance st;
+          let idx = parse_expr_prec st in
+          expect st Token.RBRACK;
+          expect st Token.ASSIGN;
+          let e = parse_expr_prec st in
+          expect st Token.SEMI;
+          Sassign (Lmem (name, idx), e)
+      | Token.ASSIGN ->
+          advance st;
+          let e = parse_expr_prec st in
+          expect st Token.SEMI;
+          Sassign (Lname name, e)
+      | k -> err st "expected '=' or '[' but found %s" (Token.to_string k))
+  | k -> err st "expected statement but found %s" (Token.to_string k)
+
+let parse_sem st =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if cur_kind st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Declare section                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* idents separated by ';' (the paper's "%resource IF; ID; IE;" style),
+   also accepting ','. *)
+let parse_ident_seq st =
+  let rec go acc =
+    match cur_kind st with
+    | Token.IDENT s -> (
+        advance st;
+        match cur_kind st with
+        | Token.SEMI | Token.COMMA ->
+            advance st;
+            go (s :: acc)
+        | _ -> List.rev (s :: acc))
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_declare_item st loc directive =
+  match directive with
+  | "reg" ->
+      let name = expect_ident st in
+      (* Temporal (latch) registers are declared without a range:
+         [%reg ml (double; clk_m) +temporal;] *)
+      let range =
+        if cur_kind st = Token.LBRACK then parse_range st else { lo = 0; hi = 0 }
+      in
+      let types, clock =
+        if cur_kind st = Token.LPAREN then begin
+          advance st;
+          let types = comma_list st expect_vtype in
+          let clock =
+            if cur_kind st = Token.SEMI then begin
+              advance st;
+              Some (expect_ident st)
+            end
+            else None
+          in
+          expect st Token.RPAREN;
+          (types, clock)
+        end
+        else ([], None)
+      in
+      let flags = parse_flags st in
+      expect st Token.SEMI;
+      Dreg { name; range; types; clock; flags; loc }
+  | "equiv" ->
+      let a = parse_reg_ref st in
+      let b = parse_reg_ref st in
+      expect st Token.SEMI;
+      Dequiv (a, b, loc)
+  | "resource" -> Dresource (parse_ident_seq st, loc)
+  | "def" ->
+      let name = expect_ident st in
+      let range = parse_range st in
+      let flags = parse_flags st in
+      expect st Token.SEMI;
+      Ddef { name; range; flags; loc }
+  | "label" ->
+      let name = expect_ident st in
+      let range = parse_range st in
+      let flags = parse_flags st in
+      expect st Token.SEMI;
+      Dlabel { name; range; flags; loc }
+  | "memory" ->
+      let name = expect_ident st in
+      let range = parse_range st in
+      expect st Token.SEMI;
+      Dmemory { name; range; loc }
+  | "clock" -> Dclock (parse_ident_seq st, loc)
+  | "element" -> Delement (parse_ident_seq st, loc)
+  | "class" ->
+      let name = expect_ident st in
+      expect st Token.LBRACE;
+      let elems = comma_list st expect_ident in
+      expect st Token.RBRACE;
+      expect st Token.SEMI;
+      Dclass { name; elems; loc }
+  | d -> Loc.fail loc "unknown declare directive %%%s" d
+
+(* ------------------------------------------------------------------ *)
+(* Cwvm section                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_cwvm_item st loc directive =
+  match String.lowercase_ascii directive with
+  | "general" ->
+      expect st Token.LPAREN;
+      let t = expect_vtype st in
+      expect st Token.RPAREN;
+      let name = expect_ident st in
+      expect st Token.SEMI;
+      Cgeneral (t, name, loc)
+  | "allocable" ->
+      let rs = comma_list st parse_reg_range in
+      expect st Token.SEMI;
+      Callocable (rs, loc)
+  | "calleesave" ->
+      let rs = comma_list st parse_reg_range in
+      expect st Token.SEMI;
+      Ccalleesave (rs, loc)
+  | "sp" ->
+      let r = parse_reg_ref st in
+      let flags = parse_flags st in
+      expect st Token.SEMI;
+      Csp (r, flags, loc)
+  | "fp" ->
+      let r = parse_reg_ref st in
+      let flags = parse_flags st in
+      expect st Token.SEMI;
+      Cfp (r, flags, loc)
+  | "gp" ->
+      let r = parse_reg_ref st in
+      expect st Token.SEMI;
+      Cgp (r, loc)
+  | "retaddr" ->
+      let r = parse_reg_ref st in
+      expect st Token.SEMI;
+      Cretaddr (r, loc)
+  | "hard" ->
+      let r = parse_reg_ref st in
+      let v = expect_int st in
+      expect st Token.SEMI;
+      Chard (r, v, loc)
+  | "arg" ->
+      expect st Token.LPAREN;
+      let t = expect_vtype st in
+      expect st Token.RPAREN;
+      let r = parse_reg_ref st in
+      let n = expect_int st in
+      expect st Token.SEMI;
+      Carg (t, r, n, loc)
+  | "result" ->
+      let r = parse_reg_ref st in
+      expect st Token.LPAREN;
+      let t = expect_vtype st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      Cresult (r, t, loc)
+  | d -> Loc.fail loc "unknown cwvm directive %%%s" d
+
+(* ------------------------------------------------------------------ *)
+(* Instr section                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_operand st =
+  match cur_kind st with
+  | Token.HASH ->
+      advance st;
+      Ohash (expect_ident st)
+  | Token.IDENT set -> (
+      advance st;
+      match cur_kind st with
+      | Token.LBRACK ->
+          advance st;
+          let index = expect_int st in
+          expect st Token.RBRACK;
+          Oregfix { set; index }
+      | _ -> Oreg set)
+  | k -> err st "expected operand but found %s" (Token.to_string k)
+
+let parse_operand_list st =
+  match cur_kind st with
+  | Token.IDENT _ | Token.HASH -> comma_list st parse_operand
+  | _ -> []
+
+(* The resource vector: cycles separated by ';', resources within a cycle
+   separated by ','. A trailing ';' is allowed, as is the empty vector. *)
+let parse_rvec st =
+  expect st Token.LBRACK;
+  let rec cycles acc =
+    match cur_kind st with
+    | Token.RBRACK ->
+        advance st;
+        List.rev acc
+    | Token.SEMI ->
+        advance st;
+        cycles acc
+    | Token.IDENT _ ->
+        let cycle = comma_list st expect_ident in
+        (match cur_kind st with
+        | Token.SEMI -> advance st
+        | Token.RBRACK -> ()
+        | k -> err st "expected ';' or ']' but found %s" (Token.to_string k));
+        cycles (cycle :: acc)
+    | k -> err st "expected resource name but found %s" (Token.to_string k)
+  in
+  cycles []
+
+let parse_triple st =
+  expect st Token.LPAREN;
+  let cost = expect_int st in
+  expect st Token.COMMA;
+  let latency = expect_int st in
+  expect st Token.COMMA;
+  let slots = expect_int st in
+  expect st Token.RPAREN;
+  (cost, latency, slots)
+
+let parse_class_clause st =
+  if cur_kind st = Token.LT then begin
+    advance st;
+    let elems = comma_list st expect_ident in
+    expect st Token.GT;
+    Some elems
+  end
+  else None
+
+let parse_instr_decl st loc ~move =
+  let i_tag =
+    if cur_kind st = Token.LBRACK then begin
+      advance st;
+      let tag = expect_ident st in
+      expect st Token.RBRACK;
+      Some tag
+    end
+    else None
+  in
+  let i_escape =
+    if cur_kind st = Token.STAR then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let i_name = expect_ident st in
+  let i_operands = parse_operand_list st in
+  let i_type, i_clock =
+    if cur_kind st = Token.LPAREN then begin
+      advance st;
+      let t = expect_vtype st in
+      let clock =
+        if cur_kind st = Token.SEMI then begin
+          advance st;
+          Some (expect_ident st)
+        end
+        else None
+      in
+      expect st Token.RPAREN;
+      (Some t, clock)
+    end
+    else (None, None)
+  in
+  let i_sem = if cur_kind st = Token.LBRACE then parse_sem st else [] in
+  let i_rvec = if cur_kind st = Token.LBRACK then parse_rvec st else [] in
+  let i_cost, i_latency, i_slots =
+    if cur_kind st = Token.LPAREN then parse_triple st else (0, 0, 0)
+  in
+  let i_class = parse_class_clause st in
+  if cur_kind st = Token.SEMI then advance st;
+  {
+    i_name;
+    i_escape;
+    i_move = move;
+    i_tag;
+    i_operands;
+    i_type;
+    i_clock;
+    i_sem;
+    i_rvec;
+    i_cost;
+    i_latency;
+    i_slots;
+    i_class;
+    i_loc = loc;
+  }
+
+(* (1.$1 == 2.$1) : operand $1 of the first instruction must equal operand
+   $1 of the second. *)
+let parse_aux_cond st =
+  let side () =
+    let i = expect_int st in
+    expect st Token.DOT;
+    let n = parse_dollar st in
+    (i, n)
+  in
+  let left = side () in
+  expect st Token.EQEQ;
+  let right = side () in
+  { left; right }
+
+let parse_aux st loc =
+  let a_first = expect_ident st in
+  expect st Token.COLON;
+  let a_second = expect_ident st in
+  let a_cond =
+    if cur_kind st = Token.LPAREN then begin
+      (* distinguish "(cond)" from "(latency)": a condition starts with
+         INT DOT *)
+      let is_cond =
+        (match st.toks.(st.pos + 1).Token.kind with
+        | Token.INT _ -> true
+        | _ -> false)
+        && st.toks.(st.pos + 2).Token.kind = Token.DOT
+      in
+      if is_cond then begin
+        advance st;
+        let c = parse_aux_cond st in
+        expect st Token.RPAREN;
+        Some c
+      end
+      else None
+    end
+    else None
+  in
+  expect st Token.LPAREN;
+  let a_latency = expect_int st in
+  expect st Token.RPAREN;
+  if cur_kind st = Token.SEMI then advance st;
+  { a_first; a_second; a_cond; a_latency; a_loc = loc }
+
+let parse_glue st loc =
+  let g_operands = parse_operand_list st in
+  expect st Token.LBRACE;
+  let g_lhs = parse_expr_prec st in
+  expect st Token.ARROW;
+  let g_rhs = parse_expr_prec st in
+  if cur_kind st = Token.SEMI then advance st;
+  expect st Token.RBRACE;
+  if cur_kind st = Token.SEMI then advance st;
+  { g_operands; g_lhs; g_rhs; g_loc = loc }
+
+let parse_instr_item st =
+  let loc = cur_loc st in
+  match cur_kind st with
+  | Token.DIRECTIVE "instr" ->
+      advance st;
+      Iinstr (parse_instr_decl st loc ~move:false)
+  | Token.DIRECTIVE "move" ->
+      advance st;
+      Iinstr (parse_instr_decl st loc ~move:true)
+  | Token.DIRECTIVE "aux" ->
+      advance st;
+      Iaux (parse_aux st loc)
+  | Token.DIRECTIVE "glue" ->
+      advance st;
+      Iglue (parse_glue st loc)
+  | k -> err st "expected instruction directive but found %s" (Token.to_string k)
+
+(* ------------------------------------------------------------------ *)
+(* Whole description                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let parse_section_body st parse_item =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if cur_kind st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_item st :: acc)
+  in
+  go []
+
+let parse_directive_item st parse_of_directive =
+  let loc = cur_loc st in
+  match cur_kind st with
+  | Token.DIRECTIVE d ->
+      advance st;
+      parse_of_directive st loc d
+  | k -> err st "expected a %%directive but found %s" (Token.to_string k)
+
+let parse ~name ~file src =
+  let st = { toks = Lexer.tokenize ~file src; pos = 0 } in
+  let declare = ref [] and cwvm = ref [] and instr = ref [] in
+  let rec go () =
+    match cur_kind st with
+    | Token.EOF -> ()
+    | Token.IDENT "declare" ->
+        advance st;
+        declare :=
+          !declare
+          @ parse_section_body st (fun st ->
+                parse_directive_item st parse_declare_item);
+        go ()
+    | Token.IDENT "cwvm" ->
+        advance st;
+        cwvm :=
+          !cwvm
+          @ parse_section_body st (fun st ->
+                parse_directive_item st parse_cwvm_item);
+        go ()
+    | Token.IDENT "instr" ->
+        advance st;
+        instr := !instr @ parse_section_body st parse_instr_item;
+        go ()
+    | k ->
+        err st "expected 'declare', 'cwvm' or 'instr' but found %s"
+          (Token.to_string k)
+  in
+  go ();
+  { d_name = name; d_declare = !declare; d_cwvm = !cwvm; d_instr = !instr }
+
+let parse_expr ~file src =
+  let st = { toks = Lexer.tokenize ~file src; pos = 0 } in
+  let e = parse_expr_prec st in
+  (match cur_kind st with
+  | Token.EOF -> ()
+  | k -> err st "trailing tokens after expression: %s" (Token.to_string k));
+  e

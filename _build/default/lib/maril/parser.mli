@@ -1,0 +1,18 @@
+(** Recursive-descent parser for Maril descriptions.
+
+    A description consists of three brace-delimited sections in order:
+
+    {v
+      declare { ... }   cwvm { ... }   instr { ... }
+    v}
+
+    Instruction order inside [instr] is preserved: the code selector tries
+    patterns first-to-last and commits to the first match (paper 2.1). *)
+
+val parse : name:string -> file:string -> string -> Ast.description
+(** [parse ~name ~file src] parses a full description. [name] is the
+    machine name recorded in the result; [file] is used in locations.
+    Raises {!Loc.Error} on syntax errors. *)
+
+val parse_expr : file:string -> string -> Ast.expr
+(** Parse a standalone semantics expression (used by tests). *)

@@ -1,0 +1,125 @@
+open Ast
+
+let pp_range ppf { lo; hi } = Format.fprintf ppf "[%d:%d]" lo hi
+
+let pp_flags ppf flags =
+  List.iter (fun f -> Format.fprintf ppf " %s" (flag_to_string f)) flags
+
+let pp_reg_ref ppf { set; index } = Format.fprintf ppf "%s[%d]" set index
+
+let pp_reg_range ppf { rset; rlo; rhi } =
+  if rlo = rhi then Format.fprintf ppf "%s[%d]" rset rlo
+  else Format.fprintf ppf "%s[%d:%d]" rset rlo rhi
+
+let pp_list sep pp ppf l =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf sep) pp ppf l
+
+let pp_declare_item ppf (it : declare_item) =
+  match it with
+  | Dreg { name; range; types; clock; flags; _ } ->
+      Format.fprintf ppf "  %%reg %s" name;
+      if not (range.lo = 0 && range.hi = 0 && List.mem Ftemporal flags) then
+        pp_range ppf range;
+      (match (types, clock) with
+      | [], _ -> ()
+      | ts, None ->
+          Format.fprintf ppf " (%a)" (pp_list ", " Format.pp_print_string)
+            (List.map vtype_to_string ts)
+      | ts, Some c ->
+          Format.fprintf ppf " (%a; %s)" (pp_list ", " Format.pp_print_string)
+            (List.map vtype_to_string ts)
+            c);
+      pp_flags ppf flags;
+      Format.fprintf ppf ";@."
+  | Dequiv (a, b, _) ->
+      Format.fprintf ppf "  %%equiv %a %a;@." pp_reg_ref a pp_reg_ref b
+  | Dresource (names, _) ->
+      Format.fprintf ppf "  %%resource %a;@."
+        (pp_list "; " Format.pp_print_string)
+        names
+  | Ddef { name; range; flags; _ } ->
+      Format.fprintf ppf "  %%def %s %a%a;@." name pp_range range pp_flags flags
+  | Dlabel { name; range; flags; _ } ->
+      Format.fprintf ppf "  %%label %s %a%a;@." name pp_range range pp_flags flags
+  | Dmemory { name; range; _ } ->
+      Format.fprintf ppf "  %%memory %s %a;@." name pp_range range
+  | Dclock (names, _) ->
+      Format.fprintf ppf "  %%clock %a;@."
+        (pp_list "; " Format.pp_print_string)
+        names
+  | Delement (names, _) ->
+      Format.fprintf ppf "  %%element %a;@."
+        (pp_list "; " Format.pp_print_string)
+        names
+  | Dclass { name; elems; _ } ->
+      Format.fprintf ppf "  %%class %s {%a};@." name
+        (pp_list ", " Format.pp_print_string)
+        elems
+
+let pp_cwvm_item ppf (it : cwvm_item) =
+  match it with
+  | Cgeneral (t, name, _) ->
+      Format.fprintf ppf "  %%general (%s) %s;@." (vtype_to_string t) name
+  | Callocable (rs, _) ->
+      Format.fprintf ppf "  %%allocable %a;@." (pp_list ", " pp_reg_range) rs
+  | Ccalleesave (rs, _) ->
+      Format.fprintf ppf "  %%calleesave %a;@." (pp_list ", " pp_reg_range) rs
+  | Csp (r, flags, _) ->
+      Format.fprintf ppf "  %%SP %a%a;@." pp_reg_ref r pp_flags flags
+  | Cfp (r, flags, _) ->
+      Format.fprintf ppf "  %%fp %a%a;@." pp_reg_ref r pp_flags flags
+  | Cgp (r, _) -> Format.fprintf ppf "  %%gp %a;@." pp_reg_ref r
+  | Cretaddr (r, _) -> Format.fprintf ppf "  %%retaddr %a;@." pp_reg_ref r
+  | Chard (r, v, _) -> Format.fprintf ppf "  %%hard %a %d;@." pp_reg_ref r v
+  | Carg (t, r, n, _) ->
+      Format.fprintf ppf "  %%arg (%s) %a %d;@." (vtype_to_string t) pp_reg_ref r n
+  | Cresult (r, t, _) ->
+      Format.fprintf ppf "  %%result %a (%s);@." pp_reg_ref r (vtype_to_string t)
+
+let pp_instr_item ppf (it : instr_item) =
+  match it with
+  | Iinstr d ->
+      Format.fprintf ppf "  %s " (if d.i_move then "%move" else "%instr");
+      (match d.i_tag with Some t -> Format.fprintf ppf "[%s] " t | None -> ());
+      if d.i_escape then Format.pp_print_string ppf "*";
+      Format.pp_print_string ppf d.i_name;
+      if d.i_operands <> [] then
+        Format.fprintf ppf " %a" (pp_list ", " pp_operand_kind) d.i_operands;
+      (match (d.i_type, d.i_clock) with
+      | None, _ -> ()
+      | Some t, None -> Format.fprintf ppf " (%s)" (vtype_to_string t)
+      | Some t, Some c -> Format.fprintf ppf " (%s; %s)" (vtype_to_string t) c);
+      Format.fprintf ppf " {%a}" (pp_list " " pp_stmt) d.i_sem;
+      Format.fprintf ppf " [%a]"
+        (pp_list " " (fun ppf cycle ->
+             Format.fprintf ppf "%a;" (pp_list "," Format.pp_print_string) cycle))
+        d.i_rvec;
+      Format.fprintf ppf " (%d,%d,%d)" d.i_cost d.i_latency d.i_slots;
+      (match d.i_class with
+      | Some elems ->
+          Format.fprintf ppf " <%a>" (pp_list ", " Format.pp_print_string) elems
+      | None -> ());
+      Format.fprintf ppf "@."
+  | Iaux a ->
+      Format.fprintf ppf "  %%aux %s : %s" a.a_first a.a_second;
+      (match a.a_cond with
+      | Some { left = li, ln; right = ri, rn } ->
+          Format.fprintf ppf " (%d.$%d == %d.$%d)" li ln ri rn
+      | None -> ());
+      Format.fprintf ppf " (%d)@." a.a_latency
+  | Iglue g ->
+      Format.fprintf ppf "  %%glue";
+      if g.g_operands <> [] then
+        Format.fprintf ppf " %a" (pp_list ", " pp_operand_kind) g.g_operands;
+      Format.fprintf ppf " {%a ==> %a;}@." pp_expr g.g_lhs pp_expr g.g_rhs
+
+let pp_description ppf (d : description) =
+  Format.fprintf ppf "declare {@.";
+  List.iter (pp_declare_item ppf) d.d_declare;
+  Format.fprintf ppf "}@.cwvm {@.";
+  List.iter (pp_cwvm_item ppf) d.d_cwvm;
+  Format.fprintf ppf "}@.instr {@.";
+  List.iter (pp_instr_item ppf) d.d_instr;
+  Format.fprintf ppf "}@."
+
+let to_string d = Format.asprintf "%a" pp_description d

@@ -1,0 +1,7 @@
+(** Pretty-printer for Maril descriptions: renders an AST back to
+    description text that the parser accepts, so descriptions can be
+    programmatically generated, normalized and round-tripped. *)
+
+val pp_description : Format.formatter -> Ast.description -> unit
+
+val to_string : Ast.description -> string

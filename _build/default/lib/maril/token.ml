@@ -1,0 +1,66 @@
+(* Tokens of the Maril description language. Each token carries the
+   location of its first character for error reporting. *)
+
+type kind =
+  | IDENT of string
+  | DIRECTIVE of string  (* %reg, %instr, ... *)
+  | INT of int
+  | FLOAT of float
+  | DOLLAR of int  (* $n *)
+  | LBRACE | RBRACE
+  | LBRACK | RBRACK
+  | LPAREN | RPAREN
+  | SEMI | COMMA | COLON | DOT | HASH
+  | STAR | PLUS | MINUS | SLASH | PERCENT
+  | AMP | BAR | CARET | TILDE | BANG
+  | ASSIGN  (* = *)
+  | EQEQ | NE | LT | LE | GT | GE
+  | SHL | SHR | SHRU
+  | COLONCOLON
+  | ARROW  (* ==> *)
+  | PLUSFLAG of string  (* +relative, +down, ... *)
+  | EOF
+
+type t = { kind : kind; loc : Loc.t }
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | DIRECTIVE s -> Printf.sprintf "%%%s" s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | DOLLAR n -> Printf.sprintf "$%d" n
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | DOT -> "."
+  | HASH -> "#"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | BAR -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | ASSIGN -> "="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | SHRU -> ">>>"
+  | COLONCOLON -> "::"
+  | ARROW -> "==>"
+  | PLUSFLAG s -> "+" ^ s
+  | EOF -> "<eof>"

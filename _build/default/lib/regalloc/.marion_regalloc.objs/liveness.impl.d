@@ -1,0 +1,1 @@
+lib/regalloc/liveness.ml: Hashtbl List Mir Model Set

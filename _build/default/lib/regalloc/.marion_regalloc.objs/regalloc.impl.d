@@ -1,0 +1,1 @@
+lib/regalloc/regalloc.ml: Array Ast Frame Hashtbl Int List Liveness Loc Mir Model Option Set

@@ -1,0 +1,1 @@
+lib/regalloc/regalloc.mli: Mir

@@ -1,0 +1,26 @@
+(** Backward liveness analysis over MIR.
+
+    Register keys cover both pseudo-registers and physical registers so
+    that precolored values (CWVM argument/result registers, call clobbers)
+    constrain allocation. *)
+
+type key = Kp of int  (** pseudo-register id *) | Kh of int * int  (** class, index *)
+
+module KeySet : Set.S with type elt = key
+
+val key_of_reg : [ `Preg of Mir.preg | `Phys of Model.reg ] -> key
+
+val inst_uses : Mir.inst -> key list
+
+val inst_defs : Mir.inst -> key list
+
+type t = {
+  live_out : (string, KeySet.t) Hashtbl.t;  (** block label -> live-out *)
+  live_in : (string, KeySet.t) Hashtbl.t;
+}
+
+val compute : Mir.func -> t
+
+val loop_depth : Mir.func -> (string, int) Hashtbl.t
+(** Approximate loop nesting depth per block, from layout-order back
+    edges; used to weight spill costs. *)

@@ -1,0 +1,27 @@
+(** Graph-coloring global register allocation in the style of Chaitin and
+    Briggs et al. (paper 2.2).
+
+    Nodes are pseudo-registers; edges are interferences computed from
+    liveness over the instruction order presented by the strategy.
+    Register pairs (%equiv) interfere through byte overlap, and precolored
+    physical registers (CWVM argument/result registers, call clobbers)
+    constrain the colors a pseudo-register may take. Coloring is
+    optimistic; uncolored nodes spill to frame slots, spill code is
+    inserted, and allocation repeats until it converges. *)
+
+type stats = {
+  rounds : int;  (** coloring rounds (1 = no spilling needed) *)
+  spilled : int;  (** pseudo-registers sent to memory *)
+}
+
+val allocate : ?forbid_global_pregs:bool -> ?max_local:int -> Mir.func -> stats
+(** Allocate and rewrite the function in place: pseudo-registers become
+    physical registers, [Opart]s resolve to subregisters, identity moves
+    disappear and [Mir.f_saved] receives the callee-save registers used.
+
+    [forbid_global_pregs] spills every cross-block pseudo-register up
+    front — the local-only baseline strategy ("Naive", standing in for the
+    paper's [cc -O1] comparison point).
+
+    [max_local] caps the number of allocable registers per class (used by
+    RASE to enforce per-block schedule/register trade-offs). *)

@@ -1,0 +1,1 @@
+lib/sched/dag.ml: Array List Mir Model

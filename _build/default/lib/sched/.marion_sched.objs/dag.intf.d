@@ -1,0 +1,1 @@
+lib/sched/dag.mli: Mir Model

@@ -1,0 +1,1 @@
+lib/sched/delay.ml: List Loc Mir Model

@@ -1,0 +1,1 @@
+lib/sched/ghfill.ml: Array Ast Dag List Mir Model

@@ -1,0 +1,1 @@
+lib/sched/listsched.ml: Array Ast Bitset Dag Delay Hashtbl List Loc Mir Model Option

@@ -1,0 +1,271 @@
+type edge_kind = True | Mem | Anti | Temporal of int
+
+type edge = { e_src : int; e_dst : int; e_label : int; e_kind : edge_kind }
+
+type t = {
+  insts : Mir.inst array;
+  succs : (int * int * edge_kind) list array;
+  preds : (int * int * edge_kind) list array;
+  edges : edge list;
+}
+
+(* a storage location: a pseudo-register or a physical register *)
+type loc = Lp of int | Lh of Model.reg
+
+let locs_overlap model a b =
+  match (a, b) with
+  | Lp x, Lp y -> x = y
+  | Lh x, Lh y -> Model.regs_overlap model x y
+  | Lp _, Lh _ | Lh _, Lp _ -> false
+
+(* [loc_covers w l]: writing [w] fully overwrites [l]. Only then may a
+   previous reader/writer record of [l] be dropped — with %equiv register
+   pairs a write can overlap a record only partially (writing r2 does not
+   supersede a use of the d1 pair), and dropping it would lose anti- and
+   output-dependences on the untouched half. *)
+let loc_covers model w l =
+  match (w, l) with
+  | Lp x, Lp y -> x = y
+  | Lh x, Lh y ->
+      let bx, ox, sx = Model.reg_bytes model x in
+      let by, oy, sy = Model.reg_bytes model y in
+      bx = by && ox <= oy && oy + sy <= ox + sx
+  | Lp _, Lh _ | Lh _, Lp _ -> false
+
+(* the single register of a named (usually temporal) single-register class *)
+let named_reg model cid =
+  let c = Model.class_exn model cid in
+  { Model.cls = cid; idx = c.Model.c_lo }
+
+let inst_read_locs model (i : Mir.inst) =
+  List.map (fun r -> match r with `Preg p -> Lp p.Mir.p_id | `Phys h -> Lh h)
+    (Mir.inst_uses i)
+  @ List.map (fun h -> Lh h) i.Mir.n_xuse
+  @ List.map (fun c -> Lh (named_reg model c)) i.Mir.n_op.Model.i_rnames
+
+let inst_write_locs model (i : Mir.inst) =
+  List.map (fun r -> match r with `Preg p -> Lp p.Mir.p_id | `Phys h -> Lh h)
+    (Mir.inst_defs i)
+  @ List.map (fun h -> Lh h) i.Mir.n_xdef
+  @ List.map (fun c -> Lh (named_reg model c)) i.Mir.n_op.Model.i_wnames
+
+let is_temporal_loc model = function
+  | Lp _ -> None
+  | Lh r ->
+      let c = Model.class_exn model r.Model.cls in
+      if c.Model.c_temporal then c.Model.c_clock else None
+
+(* does writing location [l] by instruction [src] reach a read by [dst]
+   with an %aux latency override? operand condition: operand a of the
+   first equals operand b of the second *)
+let dep_latency model (src : Mir.inst) (dst : Mir.inst) =
+  let opnd_eq a b =
+    a >= 0
+    && a < Array.length src.Mir.n_ops
+    && b >= 0
+    && b < Array.length dst.Mir.n_ops
+    && src.Mir.n_ops.(a) = dst.Mir.n_ops.(b)
+  in
+  match
+    Model.aux_latency model ~first:src.Mir.n_op ~second:dst.Mir.n_op ~opnd_eq
+  with
+  | Some l -> l
+  | None -> src.Mir.n_op.Model.i_latency
+
+let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
+  let dep_latency =
+    if aux then dep_latency
+    else fun _ src _ -> src.Mir.n_op.Model.i_latency
+  in
+  let arr = Array.of_list insts in
+  let n = Array.length arr in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  let edges = ref [] in
+  let add_edge src dst label kind =
+    if src <> dst then
+      match List.find_opt (fun (d, _, _) -> d = dst) succs.(src) with
+      | Some (_, l, _) when l >= label -> ()
+      | Some _ ->
+          (* keep the strictest label for this pair *)
+          succs.(src) <-
+            (dst, label, kind)
+            :: List.filter (fun (d, _, _) -> d <> dst) succs.(src);
+          preds.(dst) <-
+            (src, label, kind)
+            :: List.filter (fun (s, _, _) -> s <> src) preds.(dst);
+          edges :=
+            { e_src = src; e_dst = dst; e_label = label; e_kind = kind }
+            :: List.filter
+                 (fun e -> not (e.e_src = src && e.e_dst = dst))
+                 !edges
+      | None ->
+          succs.(src) <- (dst, label, kind) :: succs.(src);
+          preds.(dst) <- (src, label, kind) :: preds.(dst);
+          edges :=
+            { e_src = src; e_dst = dst; e_label = label; e_kind = kind }
+            :: !edges
+  in
+  (* current writers (loc, node) and readers since their last write *)
+  let writers : (loc * int) list ref = ref [] in
+  let readers : (loc * int) list ref = ref [] in
+  let last_store = ref None in
+  let mem_readers = ref [] in
+  let last_call = ref None in
+  for i = 0 to n - 1 do
+    let inst = arr.(i) in
+    let reads = inst_read_locs model inst in
+    let writes = inst_write_locs model inst in
+    (* calls are scheduling barriers: everything before stays before,
+       everything after stays after *)
+    if inst.Mir.n_op.Model.i_call then begin
+      for j = 0 to i - 1 do
+        add_edge j i 1 Mem
+      done;
+      last_call := Some i
+    end
+    else begin
+      match !last_call with
+      | Some c -> add_edge c i 1 Mem
+      | None -> ()
+    end;
+    (* type 1 / temporal: true dependences *)
+    List.iter
+      (fun l ->
+        List.iter
+          (fun (wl, wi) ->
+            if locs_overlap model l wl then
+              let kind =
+                match is_temporal_loc model wl with
+                | Some k -> Temporal k
+                | None -> True
+              in
+              add_edge wi i (dep_latency model arr.(wi) inst) kind)
+          !writers)
+      reads;
+    (* type 3: anti (read then write) and output (write then write) *)
+    if anti then
+      List.iter
+        (fun l ->
+          List.iter
+            (fun (rl, ri) ->
+              if locs_overlap model l rl then add_edge ri i 0 Anti)
+            !readers;
+          List.iter
+            (fun (wl, wi) ->
+              if locs_overlap model l wl then add_edge wi i 1 Anti)
+            !writers)
+        writes;
+    (* type 2: memory ordering; calls are memory barriers *)
+    let acts_on_memory_r = inst.Mir.n_op.Model.i_loads || inst.Mir.n_op.Model.i_call in
+    let acts_on_memory_w = inst.Mir.n_op.Model.i_stores || inst.Mir.n_op.Model.i_call in
+    if acts_on_memory_r then begin
+      (match !last_store with Some s -> add_edge s i 1 Mem | None -> ());
+      mem_readers := i :: !mem_readers
+    end;
+    if acts_on_memory_w then begin
+      (match !last_store with Some s -> add_edge s i 1 Mem | None -> ());
+      List.iter (fun r -> add_edge r i 1 Mem) !mem_readers;
+      last_store := Some i;
+      mem_readers := []
+    end;
+    (* update reader/writer tracking; an entry dies only when a new write
+       covers it completely *)
+    readers :=
+      List.filter
+        (fun (rl, _) -> not (List.exists (fun w -> loc_covers model w rl) writes))
+        !readers
+      @ List.map (fun l -> (l, i)) reads;
+    writers :=
+      List.filter
+        (fun (wl, _) -> not (List.exists (fun w -> loc_covers model w wl) writes))
+        !writers
+      @ List.map (fun l -> (l, i)) writes
+  done;
+  (* ---------------- temporal sequence protection (paper 4.6) -------- *)
+  (* temporal sequences: chains of temporal edges on the same clock *)
+  let temporal_succ i =
+    List.filter_map
+      (fun (d, _, k) -> match k with Temporal c -> Some (d, c) | _ -> None)
+      succs.(i)
+  in
+  let temporal_pred i =
+    List.filter_map
+      (fun (s, _, k) -> match k with Temporal c -> Some (s, c) | _ -> None)
+      preds.(i)
+  in
+  (* head of the temporal sequence containing node i on clock k *)
+  let rec seq_head i k =
+    match List.find_opt (fun (_, c) -> c = k) (temporal_pred i) with
+    | Some (p, _) -> seq_head p k
+    | None -> i
+  in
+  let affects i k = arr.(i).Mir.n_op.Model.i_affects = Some k in
+  let in_seq i k =
+    List.exists (fun (_, c) -> c = k) (temporal_pred i)
+    || List.exists (fun (_, c) -> c = k) (temporal_succ i)
+  in
+  (* for each alternate entry (w, z) into a temporal sequence on clock k
+     (z is a sequence member that is not the head), walk the ancestors of
+     z; any ancestor that affects k and is outside the sequence gets an
+     edge to the head *)
+  let protect () =
+    for z = 0 to n - 1 do
+      List.iter
+        (fun (_, k) ->
+          (* z has a temporal predecessor on k: not a head *)
+          let head = seq_head z k in
+          let entries =
+            List.filter_map
+              (fun (s, _, kind) ->
+                match kind with Temporal c when c = k -> None | _ -> Some s)
+              preds.(z)
+          in
+          if entries <> [] then begin
+            (* BFS over ancestors of z through non-temporal entries *)
+            let visited = Array.make n false in
+            let rec walk a =
+              if not visited.(a) then begin
+                visited.(a) <- true;
+                (* the protection edge is pure ordering, so it must not be
+                   mistaken for sequence membership: mark it Anti *)
+                if affects a k && (not (in_seq a k)) && a <> head then
+                  add_edge a head 0 Anti;
+                List.iter (fun (s, _, _) -> walk s) preds.(a)
+              end
+            in
+            List.iter walk entries
+          end)
+        (temporal_pred z)
+    done
+  in
+  protect ();
+  { insts = arr; succs; preds; edges = !edges }
+
+let roots t =
+  let n = Array.length t.insts in
+  let r = ref [] in
+  for i = n - 1 downto 0 do
+    if t.preds.(i) = [] then r := i :: !r
+  done;
+  !r
+
+let max_dist_to_leaf t =
+  let n = Array.length t.insts in
+  let dist = Array.make n (-1) in
+  let rec go i =
+    if dist.(i) >= 0 then dist.(i)
+    else begin
+      dist.(i) <- 0;
+      let d =
+        List.fold_left
+          (fun acc (dst, label, _) -> max acc (label + go dst))
+          0 t.succs.(i)
+      in
+      dist.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (go i)
+  done;
+  dist

@@ -1,0 +1,41 @@
+(** The code DAG (paper 4.1): nodes are instructions of one basic block,
+    directed labeled edges are dependences. An edge [(x, y)] with label [l]
+    means y cannot issue fewer than [l] cycles after x.
+
+    Edge types:
+    - {b True} data dependences, labeled with the producer's latency,
+      overridden by matching %aux directives;
+    - {b Mem} ordering between memory references;
+    - {b Anti} anti- and output-dependences on registers (included or not
+      at the strategy's choice);
+    - {b Temporal} true dependences through a temporal register of an
+      explicitly advanced pipeline, tagged with the clock.
+
+    Construction also {e protects temporal sequences} (paper 4.6): for each
+    alternate entry into a temporal sequence, ancestors that affect the
+    sequence's clock get an extra edge to the sequence head, so a
+    non-backtracking list scheduler cannot deadlock (Figure 6). *)
+
+type edge_kind = True | Mem | Anti | Temporal of int
+
+type edge = { e_src : int; e_dst : int; e_label : int; e_kind : edge_kind }
+
+type t = {
+  insts : Mir.inst array;
+  succs : (int * int * edge_kind) list array;  (* dst, label, kind *)
+  preds : (int * int * edge_kind) list array;  (* src, label, kind *)
+  edges : edge list;
+}
+
+val build : ?anti:bool -> ?aux:bool -> Model.t -> Mir.inst list -> t
+(** [anti] (default true) controls inclusion of type-3 edges; [aux]
+    (default true) controls whether %aux directives override latencies —
+    turning it off is an ablation: the machine still behaves per %aux, the
+    scheduler just stops knowing about it. *)
+
+val roots : t -> int list
+(** Nodes with no predecessors. *)
+
+val max_dist_to_leaf : t -> int array
+(** The list scheduler's priority function: the maximum label-weighted
+    distance from each node to a leaf. *)

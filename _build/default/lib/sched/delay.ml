@@ -1,0 +1,26 @@
+let fill (fn : Mir.func) (insts : Mir.inst list) =
+  let model = fn.Mir.f_model in
+  let added = ref 0 in
+  let out =
+    List.concat_map
+      (fun (i : Mir.inst) ->
+        let slots = abs i.Mir.n_op.Model.i_slots in
+        if i.Mir.n_op.Model.i_branch && slots > 0 then
+          match Model.find_nop model with
+          | Some nop ->
+              added := !added + slots;
+              i :: List.init slots (fun _ -> Mir.mk_inst fn nop [||])
+          | None ->
+              Loc.fail Loc.dummy "%s: delay slots but no nop instruction"
+                model.Model.name
+        else [ i ])
+      insts
+  in
+  (out, !added)
+
+let fill_func fn =
+  List.iter
+    (fun (b : Mir.block) ->
+      let out, _ = fill fn b.Mir.b_insts in
+      b.Mir.b_insts <- out)
+    fn.Mir.f_blocks

@@ -1,0 +1,11 @@
+(** Branch delay slot filling (paper 4.4): "Marion always fills branch
+    delay slots with nops". Applied after every control-transfer
+    instruction — conditional and unconditional branches, calls and
+    register jumps — wherever it sits in the block. *)
+
+val fill : Mir.func -> Mir.inst list -> Mir.inst list * int
+(** [fill fn insts] inserts the required nops; returns the new sequence
+    and the number of nops added. *)
+
+val fill_func : Mir.func -> unit
+(** Fill every block of the function in place. *)

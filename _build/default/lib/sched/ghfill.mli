@@ -1,0 +1,19 @@
+(** Branch delay slot filling in the style of Gross and Hennessy
+    ("Optimizing delayed branches", MICRO-15, 1982).
+
+    The paper always fills delay slots with nops and notes that "Gross and
+    Hennessy's algorithm for filling delay slots could be included in
+    Marion as a separate intra-procedural pass after instruction
+    scheduling" (4.4). This module is that pass, in its safe intra-block
+    form: a delay-slot nop is replaced by an instruction hoisted from
+    above the branch when the code DAG proves the move sound — the
+    instruction has no consumers or orderings after it in the block, is
+    not itself a control transfer, and the branch does not depend on it.
+
+    The pass is optional (off by default, matching the paper); the
+    ablation benchmark and the [--ghfill] driver flag exercise it. *)
+
+val fill_func : Mir.func -> int
+(** Rewrite every block in place; returns the number of delay-slot nops
+    replaced by useful instructions. Blocks must already be scheduled and
+    nop-filled. *)

@@ -1,0 +1,298 @@
+type limit = Unlimited | Auto_minus of int | Fixed of int
+
+type priority = Max_dist | Source_order
+
+type options = {
+  anti : bool;
+  aux : bool;
+  reg_limit : limit;
+  fill_delay : bool;
+  priority : priority;
+}
+
+let default_options =
+  { anti = true; aux = true; reg_limit = Unlimited; fill_delay = true;
+    priority = Max_dist }
+
+let class_cap model limit cls =
+  let avail = List.length (Model.allocable_of_class model cls) in
+  match limit with
+  | Unlimited -> None
+  | Auto_minus k -> Some (max 1 (avail - k))
+  | Fixed n -> Some (max 1 (min n avail))
+
+(* a nop carries no semantics and no operands; pre-existing nops (from an
+   earlier scheduling pass) are dropped and re-inserted *)
+let is_nop (i : Mir.inst) =
+  match i.Mir.n_op.Model.i_sem with
+  | [] | [ Ast.Snop ] -> Array.length i.Mir.n_ops = 0
+  | _ -> false
+
+type result = { order : Mir.inst list; length : int }
+
+(* busy resource composite, indexed by absolute cycle *)
+type busy = { mutable table : Bitset.t array; nres : int }
+
+let busy_make nres = { table = Array.init 64 (fun _ -> Bitset.create nres); nres }
+
+let busy_get b c =
+  let n = Array.length b.table in
+  if c >= n then begin
+    let bigger = Array.init (max (c + 1) (2 * n)) (fun _ -> Bitset.create b.nres) in
+    Array.blit b.table 0 bigger 0 n;
+    b.table <- bigger
+  end;
+  b.table.(c)
+
+let pregs_of_inst which (i : Mir.inst) =
+  List.filter_map
+    (fun pos ->
+      match Mir.operand_reg i.Mir.n_ops.(pos) with
+      | Some (`Preg p) -> Some p
+      | Some (`Phys _) | None -> None)
+    which
+
+let schedule_block ?(options = default_options) (fn : Mir.func)
+    (insts : Mir.inst list) : result =
+  let model = fn.Mir.f_model in
+  match List.filter (fun i -> not (is_nop i)) insts with
+  | [] -> { order = []; length = 0 }
+  | insts ->
+      let dag = Dag.build ~anti:options.anti ~aux:options.aux model insts in
+      let n = Array.length dag.Dag.insts in
+      let prio =
+        match options.priority with
+        | Max_dist -> Dag.max_dist_to_leaf dag
+        | Source_order ->
+            (* ablation: prefer earlier source position instead of the
+               critical path *)
+            Array.init n (fun i -> n - i)
+      in
+      let cycle_of = Array.make n (-1) in
+      let scheduled = Array.make n false in
+      let nres = Array.length model.Model.resources in
+      let busy = busy_make nres in
+      let order = ref [] in
+      let remaining = ref n in
+      let cycle = ref 0 in
+      (* class-packing state for the current cycle *)
+      let cur_class : Bitset.t option ref = ref None in
+      (* IPS pressure state: remaining reads per preg, live count per class *)
+      let reads_left : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      Array.iter
+        (fun i ->
+          List.iter
+            (fun (p : Mir.preg) ->
+              Hashtbl.replace reads_left p.Mir.p_id
+                (1 + Option.value ~default:0 (Hashtbl.find_opt reads_left p.Mir.p_id)))
+            (pregs_of_inst i.Mir.n_op.Model.i_reads i))
+        dag.Dag.insts;
+      let live : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      let live_count : (int, int) Hashtbl.t = Hashtbl.create 4 in
+      let bump_cls c d =
+        Hashtbl.replace live_count c
+          (d + Option.value ~default:0 (Hashtbl.find_opt live_count c))
+      in
+      let pressure_delta (i : Mir.inst) =
+        (* per-class change in live values if i issues now *)
+        let delta : (int, int) Hashtbl.t = Hashtbl.create 4 in
+        let bump c d =
+          Hashtbl.replace delta c (d + Option.value ~default:0 (Hashtbl.find_opt delta c))
+        in
+        List.iter
+          (fun (p : Mir.preg) ->
+            match Hashtbl.find_opt reads_left p.Mir.p_id with
+            | Some 1 when Hashtbl.mem live p.Mir.p_id -> bump p.Mir.p_cls (-1)
+            | _ -> ())
+          (pregs_of_inst i.Mir.n_op.Model.i_reads i);
+        List.iter
+          (fun (p : Mir.preg) ->
+            if not (Hashtbl.mem live p.Mir.p_id) then bump p.Mir.p_cls 1)
+          (pregs_of_inst i.Mir.n_op.Model.i_writes i);
+        delta
+      in
+      let apply_pressure (i : Mir.inst) =
+        List.iter
+          (fun (p : Mir.preg) ->
+            match Hashtbl.find_opt reads_left p.Mir.p_id with
+            | Some k ->
+                Hashtbl.replace reads_left p.Mir.p_id (k - 1);
+                if k - 1 = 0 && Hashtbl.mem live p.Mir.p_id then begin
+                  Hashtbl.remove live p.Mir.p_id;
+                  bump_cls p.Mir.p_cls (-1)
+                end
+            | None -> ())
+          (pregs_of_inst i.Mir.n_op.Model.i_reads i);
+        List.iter
+          (fun (p : Mir.preg) ->
+            let still_read =
+              match Hashtbl.find_opt reads_left p.Mir.p_id with
+              | Some k -> k > 0
+              | None -> false
+            in
+            if still_read && not (Hashtbl.mem live p.Mir.p_id) then begin
+              Hashtbl.replace live p.Mir.p_id ();
+              bump_cls p.Mir.p_cls 1
+            end)
+          (pregs_of_inst i.Mir.n_op.Model.i_writes i)
+      in
+      (* Rule 1 (paper 4.6): while a temporal edge on clock k is open
+         (source scheduled, destination not), other instructions affecting
+         k may not issue before the pending destinations *)
+      let pending_clocks () =
+        List.filter_map
+          (fun (e : Dag.edge) ->
+            match e.Dag.e_kind with
+            | Dag.Temporal k
+              when scheduled.(e.Dag.e_src) && not (scheduled.(e.Dag.e_dst)) ->
+                Some (k, e.Dag.e_dst)
+            | _ -> None)
+          dag.Dag.edges
+      in
+      (* only the block terminator must issue last; calls are ordinary
+         nodes held in place by barrier edges *)
+      let is_term (op : Model.instr) = op.Model.i_branch && not op.Model.i_call in
+      let nonbranch_left () =
+        let c = ref 0 in
+        Array.iteri
+          (fun i inst ->
+            if (not scheduled.(i)) && not (is_term inst.Mir.n_op) then incr c)
+          dag.Dag.insts;
+        !c
+      in
+      let data_ready i =
+        List.for_all
+          (fun (p, label, _) -> scheduled.(p) && cycle_of.(p) + label <= !cycle)
+          dag.Dag.preds.(i)
+      in
+      let resources_free i =
+        let rvec = dag.Dag.insts.(i).Mir.n_op.Model.i_rvec in
+        let ok = ref true in
+        Array.iteri
+          (fun c req ->
+            if !ok && not (Bitset.inter_empty (busy_get busy (!cycle + c)) req)
+            then ok := false)
+          rvec;
+        !ok
+      in
+      let class_ok i =
+        match (dag.Dag.insts.(i).Mir.n_op.Model.i_class, !cur_class) with
+        | None, _ -> true
+        | Some _, None -> true
+        | Some k, Some cur -> not (Bitset.inter_empty cur k)
+      in
+      let temporal_ok i =
+        let inst = dag.Dag.insts.(i) in
+        match inst.Mir.n_op.Model.i_affects with
+        | None -> true
+        | Some k ->
+            List.for_all
+              (fun (pk, dst) -> pk <> k || dst = i)
+              (pending_clocks ())
+      in
+      let pressure_ok relaxed i =
+        match options.reg_limit with
+        | Unlimited -> true
+        | (Auto_minus _ | Fixed _) as lim ->
+            relaxed
+            ||
+            let delta = pressure_delta dag.Dag.insts.(i) in
+            Hashtbl.fold
+              (fun c d acc ->
+                acc
+                &&
+                match class_cap model lim c with
+                | None -> true
+                | Some cap ->
+                    d <= 0
+                    || Option.value ~default:0 (Hashtbl.find_opt live_count c) + d
+                       <= cap)
+              delta true
+      in
+      let branch_ok i =
+        (not (is_term dag.Dag.insts.(i).Mir.n_op)) || nonbranch_left () = 0
+      in
+      let candidate relaxed i =
+        (not scheduled.(i))
+        && data_ready i
+        && resources_free i
+        && class_ok i
+        && temporal_ok i
+        && branch_ok i
+        && pressure_ok relaxed i
+      in
+      let pick relaxed =
+        let best = ref (-1) in
+        for i = 0 to n - 1 do
+          if candidate relaxed i then
+            if !best < 0 || prio.(i) > prio.(!best) then best := i
+        done;
+        if !best >= 0 then Some !best else None
+      in
+      let guard = ref 0 in
+      while !remaining > 0 do
+        incr guard;
+        if !guard > (n * 400) + 4000 then
+          Loc.fail Loc.dummy "list scheduler is stuck (block of %d instructions)" n;
+        let choice =
+          match pick false with
+          | Some i -> Some i
+          | None ->
+              (* the register-pressure limit never deadlocks the scheduler:
+                 if nothing fits under the limit but something is ready,
+                 relax (Goodman-Hsu) *)
+              if options.reg_limit <> Unlimited then pick true else None
+        in
+        match choice with
+        | Some i ->
+            scheduled.(i) <- true;
+            cycle_of.(i) <- !cycle;
+            decr remaining;
+            order := i :: !order;
+            let inst = dag.Dag.insts.(i) in
+            Array.iteri
+              (fun c req -> Bitset.union_into ~dst:(busy_get busy (!cycle + c)) req)
+              inst.Mir.n_op.Model.i_rvec;
+            (match inst.Mir.n_op.Model.i_class with
+            | Some k -> (
+                match !cur_class with
+                | None -> cur_class := Some (Bitset.copy k)
+                | Some cur ->
+                    let inter = Bitset.copy cur in
+                    (* intersection: clear bits not in k *)
+                    Bitset.iter
+                      (fun b -> if not (Bitset.mem k b) then Bitset.unset inter b)
+                      cur;
+                    cur_class := Some inter)
+            | None -> ());
+            apply_pressure inst
+        | None ->
+            incr cycle;
+            cur_class := None
+      done;
+      let issue_order = List.rev !order in
+      let max_cycle =
+        List.fold_left (fun acc i -> max acc cycle_of.(i)) 0 issue_order
+      in
+      (* delay slots are filled with nops (paper 4.4) *)
+      let final_insts = List.map (fun i -> dag.Dag.insts.(i)) issue_order in
+      if options.fill_delay then begin
+        let filled, added = Delay.fill fn final_insts in
+        { order = filled; length = max_cycle + 1 + added }
+      end
+      else { order = final_insts; length = max_cycle + 1 }
+
+let schedule_func ?options (fn : Mir.func) =
+  List.fold_left
+    (fun acc (b : Mir.block) ->
+      let r = schedule_block ?options fn b.Mir.b_insts in
+      b.Mir.b_insts <- r.order;
+      acc + r.length)
+    0 fn.Mir.f_blocks
+
+let estimate_func ?options (fn : Mir.func) =
+  List.map
+    (fun (b : Mir.block) ->
+      let r = schedule_block ?options fn b.Mir.b_insts in
+      (b.Mir.b_label, r.length))
+    fn.Mir.f_blocks

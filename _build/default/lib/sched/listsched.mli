@@ -1,0 +1,53 @@
+(** The list scheduler (paper 4.2-4.6).
+
+    Keeps a ready list over the code DAG and repeatedly issues the ready
+    instruction with the highest priority — maximum label-weighted distance
+    to a leaf. Structural hazards are detected by intersecting each
+    candidate's resource vector with the composite vector of everything in
+    flight (4.3); several instructions issue in the same cycle when their
+    resources and packing classes allow it (multiple instruction issue,
+    4.3/4.5); branch delay slots are filled with nops (4.4); Rule 1
+    enforces temporal-register liveness for explicitly advanced pipelines
+    (4.6).
+
+    An optional register-use limit supports Integrated Prepass Scheduling:
+    when the estimated number of live values of a class reaches the limit,
+    only candidates that do not increase that pressure may issue (unless
+    nothing else is ready). *)
+
+type limit =
+  | Unlimited
+  | Auto_minus of int
+      (** cap each class at (allocable - k): the IPS prepass limit *)
+  | Fixed of int  (** cap each class at n: RASE cost estimation *)
+
+type priority =
+  | Max_dist  (** maximum distance to a leaf — the paper's heuristic *)
+  | Source_order  (** ablation: keep the source order preference *)
+
+type options = {
+  anti : bool;  (** include type-3 (anti/output) edges; default true *)
+  aux : bool;  (** let %aux override latencies; default true *)
+  reg_limit : limit;  (** live-value cap per register class *)
+  fill_delay : bool;
+      (** insert delay-slot nops (off for prepass scheduling, whose output
+          is rescheduled anyway); default true *)
+  priority : priority;
+}
+
+val default_options : options
+
+type result = {
+  order : Mir.inst list;  (** issue order, delay-slot nops included *)
+  length : int;  (** issue span of the block in cycles *)
+}
+
+val schedule_block : ?options:options -> Mir.func -> Mir.inst list -> result
+
+val schedule_func : ?options:options -> Mir.func -> int
+(** Schedule every block in place; returns the total of block lengths. *)
+
+val estimate_func : ?options:options -> Mir.func -> (string * int) list
+(** Block label and schedule length, without rewriting — schedule cost
+    estimates as used by RASE and by the Table 4 estimated-cycles
+    methodology. *)

@@ -1,0 +1,1 @@
+lib/select/frame.ml: Array Ast Hashtbl List Loc Mir Model Select

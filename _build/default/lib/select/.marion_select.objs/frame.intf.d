@@ -1,0 +1,1 @@
+lib/select/frame.mli: Mir Model

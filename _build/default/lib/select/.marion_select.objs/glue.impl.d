@@ -1,0 +1,1 @@
+lib/select/glue.ml: Ast Hashtbl Ir List Loc Model

@@ -1,0 +1,1 @@
+lib/select/glue.mli: Ast Ir Model

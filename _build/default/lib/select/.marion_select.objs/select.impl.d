@@ -1,0 +1,1 @@
+lib/select/select.ml: Array Ast Format Fun Funcs Glue Hashtbl Ir List Mir Model Option Printf

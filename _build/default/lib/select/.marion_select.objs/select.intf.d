@@ -1,0 +1,1 @@
+lib/select/select.mli: Ir Mir Model

@@ -1,0 +1,223 @@
+(* Frame layout and prologue/epilogue synthesis. *)
+
+let fail fmt = Loc.fail Loc.dummy fmt
+
+(* ---------- finding the instructions we need in the description ---------- *)
+
+(* $1 = $2 + #imm, integer *)
+let find_addi (model : Model.t) =
+  let ok (i : Model.instr) =
+    (not i.Model.i_escape)
+    &&
+    match i.Model.i_sem with
+    | [ Ast.Sassign (Ast.Lopnd 1, Ast.Ebinop (Ast.Add, Ast.Eopnd 2, Ast.Eopnd 3)) ]
+      -> (
+        match i.Model.i_opnds with
+        | [| Model.Kreg _; Model.Kreg _; Model.Kimm _ |] -> true
+        | _ -> false)
+    | _ -> false
+  in
+  match Array.to_list model.Model.instrs |> List.find_opt ok with
+  | Some i -> i
+  | None -> fail "%s: no add-immediate instruction for frame code" model.Model.name
+
+(* m[$b + #imm] = $v, for a register class *)
+let find_store_ri (model : Model.t) cls =
+  let ok (i : Model.instr) =
+    (not i.Model.i_escape)
+    &&
+    match i.Model.i_sem with
+    | [
+     Ast.Sassign
+       (Ast.Lmem (_, Ast.Ebinop (Ast.Add, Ast.Eopnd b, Ast.Eopnd o)), Ast.Eopnd v);
+    ] -> (
+        match (i.Model.i_opnds.(b - 1), i.Model.i_opnds.(o - 1), i.Model.i_opnds.(v - 1))
+        with
+        | Model.Kreg _, Model.Kimm _, Model.Kreg vc ->
+            vc = cls
+            && (Model.class_exn model vc).Model.c_size
+               = (Model.class_exn model cls).Model.c_size
+        | _ -> false)
+    | _ -> false
+  in
+  match Array.to_list model.Model.instrs |> List.find_opt ok with
+  | Some i -> i
+  | None ->
+      fail "%s: no store instruction for class %s" model.Model.name
+        (Model.class_exn model cls).Model.c_name
+
+(* $1 = m[$b + #imm], result class *)
+let find_load_ri (model : Model.t) cls =
+  let ok (i : Model.instr) =
+    (not i.Model.i_escape)
+    &&
+    match i.Model.i_sem with
+    | [
+     Ast.Sassign (Ast.Lopnd 1, Ast.Emem (_, Ast.Ebinop (Ast.Add, Ast.Eopnd b, Ast.Eopnd o)));
+    ] -> (
+        match (i.Model.i_opnds.(0), i.Model.i_opnds.(b - 1), i.Model.i_opnds.(o - 1))
+        with
+        | Model.Kreg rc, Model.Kreg _, Model.Kimm _ -> rc = cls
+        | _ -> false)
+    | _ -> false
+  in
+  match Array.to_list model.Model.instrs |> List.find_opt ok with
+  | Some i -> i
+  | None ->
+      fail "%s: no load instruction for class %s" model.Model.name
+        (Model.class_exn model cls).Model.c_name
+
+(* goto $n with a register operand: the return jump *)
+let find_jr (model : Model.t) =
+  let ok (i : Model.instr) =
+    (not i.Model.i_escape)
+    &&
+    match i.Model.i_sem with
+    | [ Ast.Sgoto n ] -> (
+        match i.Model.i_opnds.(n - 1) with
+        | Model.Kreg _ -> true
+        | Model.Kregfix _ | Model.Kimm _ | Model.Klab _ -> false)
+    | _ -> false
+  in
+  match Array.to_list model.Model.instrs |> List.find_opt ok with
+  | Some i -> i
+  | None -> fail "%s: no jump-register instruction" model.Model.name
+
+(* ---------- building instructions with explicit operands ---------- *)
+
+let build_with (fn : Mir.func) (i : Model.instr) assigns ?(xuse = []) ?(xdef = []) () =
+  let ops =
+    Array.mapi
+      (fun k kind ->
+        match List.assoc_opt k assigns with
+        | Some o -> o
+        | None -> (
+            match kind with
+            | Model.Kregfix r -> Mir.Ophys r
+            | Model.Kimm _ -> Mir.Oimm 0
+            | Model.Kreg _ | Model.Klab _ ->
+                fail "frame: unbound operand %d of %s" k i.Model.i_name))
+      i.Model.i_opnds
+  in
+  Mir.mk_inst ~xuse ~xdef fn i ops
+
+let addi fn instr ~dst ~src ~imm =
+  (* positions: $1 = dst, $2 = src, $3 = imm *)
+  build_with fn instr [ (0, dst); (1, src); (2, Mir.Oimm imm) ] ()
+
+let store_at fn instr ~base ~off ~value =
+  match instr.Model.i_sem with
+  | [ Ast.Sassign (Ast.Lmem (_, Ast.Ebinop (Ast.Add, Ast.Eopnd b, Ast.Eopnd o)), Ast.Eopnd v) ]
+    ->
+      build_with fn instr [ (b - 1, base); (o - 1, off); (v - 1, value) ] ()
+  | _ -> assert false
+
+let load_at fn instr ~dst ~base ~off =
+  match instr.Model.i_sem with
+  | [ Ast.Sassign (Ast.Lopnd 1, Ast.Emem (_, Ast.Ebinop (Ast.Add, Ast.Eopnd b, Ast.Eopnd o))) ]
+    ->
+      build_with fn instr [ (0, dst); (b - 1, base); (o - 1, off) ] ()
+  | _ -> assert false
+
+let jr fn instr ~target ~xuse =
+  match instr.Model.i_sem with
+  | [ Ast.Sgoto n ] -> build_with fn instr [ (n - 1, target) ] ~xuse ()
+  | _ -> assert false
+
+(* ---------- the layout pass ---------- *)
+
+let align_up v a = (v + a - 1) / a * a
+
+let layout (fn : Mir.func) =
+  let model = fn.Mir.f_model in
+  let cwvm = model.Model.cwvm in
+  let sp = Mir.Ophys cwvm.Model.v_sp in
+  let fp = Mir.Ophys cwvm.Model.v_fp in
+  let ra = cwvm.Model.v_retaddr in
+  let int_cls = cwvm.Model.v_sp.Model.cls in
+  (* slot offsets, upward from fp+0 *)
+  let off = ref 0 in
+  List.iter
+    (fun (id, size, align) ->
+      off := align_up !off align;
+      Hashtbl.replace fn.Mir.f_slot_offsets id !off;
+      off := !off + size)
+    fn.Mir.f_slots;
+  (* save area *)
+  let saves = ref [] in
+  let add_save (r : Model.reg) =
+    let c = Model.class_exn model r.Model.cls in
+    off := align_up !off c.Model.c_size;
+    saves := (r, !off) :: !saves;
+    off := !off + c.Model.c_size
+  in
+  List.iter add_save fn.Mir.f_saved;
+  add_save cwvm.Model.v_fp;
+  if fn.Mir.f_has_calls then add_save ra;
+  let frame = align_up !off 8 in
+  fn.Mir.f_frame_size <- frame;
+  let addi_i = find_addi model in
+  let jr_i = find_jr model in
+  (* prologue: adjust sp, save, establish fp *)
+  let prologue =
+    addi fn addi_i ~dst:sp ~src:sp ~imm:(-frame)
+    :: List.concat_map
+         (fun ((r : Model.reg), o) ->
+           let st = find_store_ri model r.Model.cls in
+           [ store_at fn st ~base:sp ~off:(Mir.Oimm o) ~value:(Mir.Ophys r) ])
+         (List.rev !saves)
+    @ Select.emit_move fn ~dst:fp ~src:sp ~cls:int_cls
+  in
+  (* epilogue: restore (sp-based), release the frame, return; the return
+     jump implicitly reads the function's result registers *)
+  let ret_uses = List.map fst cwvm.Model.v_results in
+  let epilogue =
+    List.concat_map
+      (fun ((r : Model.reg), o) ->
+        let ld = find_load_ri model r.Model.cls in
+        [ load_at fn ld ~dst:(Mir.Ophys r) ~base:sp ~off:(Mir.Oimm o) ])
+      (List.rev !saves)
+    @ [
+        addi fn addi_i ~dst:sp ~src:sp ~imm:frame;
+        jr fn jr_i ~target:(Mir.Ophys ra) ~xuse:ret_uses;
+      ]
+  in
+  (match fn.Mir.f_blocks with
+  | [] -> fail "frame: function %s has no blocks" fn.Mir.f_name
+  | entry :: _ -> entry.Mir.b_insts <- prologue @ entry.Mir.b_insts);
+  (* the return jump needs its delay slots filled with nops *)
+  let epilogue =
+    match Model.find_nop model with
+    | Some nop ->
+        List.concat_map
+          (fun (i : Mir.inst) ->
+            let slots = abs i.Mir.n_op.Model.i_slots in
+            if i.Mir.n_op.Model.i_branch && slots > 0 then
+              i :: List.init slots (fun _ -> Mir.mk_inst fn nop [||])
+            else [ i ])
+          epilogue
+    | None -> epilogue
+  in
+  (match List.rev fn.Mir.f_blocks with
+  | exit :: _ -> exit.Mir.b_insts <- exit.Mir.b_insts @ epilogue
+  | [] -> ());
+  (* resolve slot operands *)
+  let resolve o =
+    let rec go = function
+      | Mir.Oslot (id, add) -> (
+          match Hashtbl.find_opt fn.Mir.f_slot_offsets id with
+          | Some base -> Mir.Oimm (base + add)
+          | None -> fail "frame: unknown slot %d" id)
+      | Mir.Opart (inner, k) -> Mir.Opart (go inner, k)
+      | (Mir.Opreg _ | Mir.Ophys _ | Mir.Oimm _ | Mir.Osym _ | Mir.Olab _) as x
+        -> x
+    in
+    go o
+  in
+  List.iter
+    (fun (b : Mir.block) ->
+      b.Mir.b_insts <-
+        List.map
+          (fun (i : Mir.inst) -> { i with Mir.n_ops = Array.map resolve i.Mir.n_ops })
+          b.Mir.b_insts)
+    fn.Mir.f_blocks

@@ -1,0 +1,40 @@
+(** Stack frame layout and prologue/epilogue insertion.
+
+    Runs after register allocation, once spill slots and the set of
+    clobbered callee-save registers are known. The prologue and epilogue
+    are synthesized from the machine description itself (the first
+    add-immediate, load, store, move and jump-register instructions whose
+    patterns fit), so this module stays target-independent.
+
+    Frame shape (stack grows down; the frame pointer is set to the
+    post-adjustment stack pointer and equals it throughout the body):
+
+    {v
+      fp+size-4        saved return address   (only if the function calls)
+      fp+size-8        caller's frame pointer
+      ...              saved callee-save registers
+      fp+0 ... slots   frame slots (arrays, spills)
+    v} *)
+
+val find_addi : Model.t -> Model.instr
+(** The first add-immediate instruction ($1 = $2 + #imm). *)
+
+val find_store_ri : Model.t -> int -> Model.instr
+(** The first base+offset store for a register class. *)
+
+val find_load_ri : Model.t -> int -> Model.instr
+(** The first base+offset load producing a register class. *)
+
+val store_at :
+  Mir.func -> Model.instr -> base:Mir.operand -> off:Mir.operand ->
+  value:Mir.operand -> Mir.inst
+
+val load_at :
+  Mir.func -> Model.instr -> dst:Mir.operand -> base:Mir.operand ->
+  off:Mir.operand -> Mir.inst
+
+val layout : Mir.func -> unit
+(** Assign every slot an offset, compute the frame size, insert prologue
+    and epilogue code, and resolve all [Mir.Oslot] operands to immediate
+    frame-pointer offsets. [Mir.f_saved] must already list the callee-save
+    registers the allocator used. *)

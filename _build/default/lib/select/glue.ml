@@ -1,0 +1,244 @@
+(* Glue transformations: Maril pattern trees rewriting IL trees. *)
+
+let vtype_to_ir = function
+  | Ast.Char -> Ir.I8
+  | Ast.Short -> Ir.I16
+  | Ast.Int | Ast.Long -> Ir.I32
+  | Ast.Float -> Ir.F32
+  | Ast.Double -> Ir.F64
+
+let ir_to_vtypes = function
+  | Ir.I8 -> [ Ast.Char; Ast.Int; Ast.Long ]
+  | Ir.I16 -> [ Ast.Short; Ast.Int; Ast.Long ]
+  | Ir.I32 -> [ Ast.Int; Ast.Long ]
+  | Ir.F32 -> [ Ast.Float; Ast.Double ]
+  | Ir.F64 -> [ Ast.Double ]
+
+let binop_of_maril = function
+  | Ast.Add -> Ir.Add
+  | Ast.Sub -> Ir.Sub
+  | Ast.Mul -> Ir.Mul
+  | Ast.Div -> Ir.Div
+  | Ast.Rem -> Ir.Rem
+  | Ast.And -> Ir.And
+  | Ast.Or -> Ir.Or
+  | Ast.Xor -> Ir.Xor
+  | Ast.Shl -> Ir.Shl
+  | Ast.Sar -> Ir.Shr
+  | Ast.Shr -> Ir.Shru
+  | Ast.Cmp -> Ir.Cmp
+
+let relop_of_maril = function
+  | Ast.Eq -> Some Ir.Eq
+  | Ast.Ne -> Some Ir.Ne
+  | Ast.Lt -> Some Ir.Lt
+  | Ast.Le -> Some Ir.Le
+  | Ast.Gt -> Some Ir.Gt
+  | Ast.Ge -> Some Ir.Ge
+  | Ast.Ltu | Ast.Geu -> None (* the IL has no unsigned comparisons *)
+
+let class_accepts model (c : Model.rclass) ty =
+  ignore model;
+  List.exists (fun vt -> List.mem vt c.Model.c_types) (ir_to_vtypes ty)
+
+(* ------------------------------------------------------------------ *)
+(* Matching a glue LHS against an IL expression                        *)
+(* ------------------------------------------------------------------ *)
+
+exception No_match
+
+let check_operand_constraint model (rule : Ast.glue_decl) n (il : Ir.expr) =
+  match List.nth_opt rule.Ast.g_operands (n - 1) with
+  | None -> ()  (* unconstrained operand *)
+  | Some (Ast.Oreg cname) -> (
+      match Model.find_class model cname with
+      | Some c -> if not (class_accepts model c il.Ir.e_ty) then raise No_match
+      | None -> raise No_match)
+  | Some (Ast.Oregfix _) -> raise No_match
+  | Some (Ast.Ohash dname) -> (
+      match Model.find_def model dname with
+      | Some d -> (
+          match il.Ir.e_kind with
+          | Ir.Const v ->
+              if v < d.Model.d_lo || v > d.Model.d_hi then raise No_match
+          | _ -> raise No_match)
+      | None -> raise No_match)
+
+let rec match_lhs model rule (pat : Ast.expr) (il : Ir.expr) bindings =
+  match pat with
+  | Ast.Eopnd n -> (
+      check_operand_constraint model rule n il;
+      match Hashtbl.find_opt bindings n with
+      | Some prev -> if prev.Ir.e_id <> il.Ir.e_id then raise No_match
+      | None -> Hashtbl.replace bindings n il)
+  | Ast.Eint k -> (
+      match il.Ir.e_kind with
+      | Ir.Const v when v = k -> ()
+      | _ -> raise No_match)
+  | Ast.Ebinop (mop, p1, p2) -> (
+      match il.Ir.e_kind with
+      | Ir.Binop (iop, a, b) when iop = binop_of_maril mop ->
+          match_lhs model rule p1 a bindings;
+          match_lhs model rule p2 b bindings
+      | _ -> raise No_match)
+  | Ast.Erel (mrel, p1, p2) -> (
+      match (relop_of_maril mrel, il.Ir.e_kind) with
+      | Some irel, Ir.Rel (iop, a, b) when iop = irel ->
+          match_lhs model rule p1 a bindings;
+          match_lhs model rule p2 b bindings
+      | _ -> raise No_match)
+  | Ast.Eunop (Ast.Neg, p) -> (
+      match il.Ir.e_kind with
+      | Ir.Unop (Ir.Neg, a) -> match_lhs model rule p a bindings
+      | _ -> raise No_match)
+  | Ast.Eunop (Ast.Bnot, p) -> (
+      match il.Ir.e_kind with
+      | Ir.Unop (Ir.Bnot, a) -> match_lhs model rule p a bindings
+      | _ -> raise No_match)
+  | Ast.Eunop (Ast.Lnot, p) -> (
+      match il.Ir.e_kind with
+      | Ir.Unop (Ir.Lnot, a) -> match_lhs model rule p a bindings
+      | _ -> raise No_match)
+  | Ast.Ecvt (vt, p) -> (
+      match il.Ir.e_kind with
+      | Ir.Cvt (t, a) when t = vtype_to_ir vt -> match_lhs model rule p a bindings
+      | _ -> raise No_match)
+  | Ast.Eflt _ | Ast.Ename _ | Ast.Emem _ | Ast.Ebuiltin _ -> raise No_match
+
+(* ------------------------------------------------------------------ *)
+(* Building the RHS                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec build_rhs rule loc bindings (pat : Ast.expr) : Ir.expr =
+  match pat with
+  | Ast.Eopnd n -> (
+      match Hashtbl.find_opt bindings n with
+      | Some e -> e
+      | None -> Loc.fail loc "glue: $%d unbound on the right-hand side" n)
+  | Ast.Eint k -> Ir.mk Ir.I32 (Ir.Const k)
+  | Ast.Ebinop (mop, a, b) ->
+      let a' = build_rhs rule loc bindings a in
+      let b' = build_rhs rule loc bindings b in
+      let iop = binop_of_maril mop in
+      let ty =
+        match iop with
+        | Ir.Cmp -> Ir.I32
+        | Ir.Add | Ir.Sub | Ir.Mul | Ir.Div | Ir.Rem | Ir.And | Ir.Or
+        | Ir.Xor | Ir.Shl | Ir.Shr | Ir.Shru ->
+            a'.Ir.e_ty
+      in
+      Ir.mk ty (Ir.Binop (iop, a', b'))
+  | Ast.Erel (mrel, a, b) -> (
+      match relop_of_maril mrel with
+      | Some irel ->
+          let a' = build_rhs rule loc bindings a in
+          let b' = build_rhs rule loc bindings b in
+          Ir.mk Ir.I32 (Ir.Rel (irel, a', b'))
+      | None -> Loc.fail loc "glue: unsupported relational operator")
+  | Ast.Eunop (Ast.Neg, a) ->
+      let a' = build_rhs rule loc bindings a in
+      Ir.mk a'.Ir.e_ty (Ir.Unop (Ir.Neg, a'))
+  | Ast.Eunop (Ast.Bnot, a) ->
+      let a' = build_rhs rule loc bindings a in
+      Ir.mk Ir.I32 (Ir.Unop (Ir.Bnot, a'))
+  | Ast.Eunop (Ast.Lnot, a) ->
+      let a' = build_rhs rule loc bindings a in
+      Ir.mk Ir.I32 (Ir.Unop (Ir.Lnot, a'))
+  | Ast.Ecvt (vt, a) ->
+      let a' = build_rhs rule loc bindings a in
+      Ir.mk (vtype_to_ir vt) (Ir.Cvt (vtype_to_ir vt, a'))
+  | Ast.Ebuiltin ("eval", [ a ]) -> (
+      let a' = build_rhs rule loc bindings a in
+      let rec fold (e : Ir.expr) =
+        match e.Ir.e_kind with
+        | Ir.Const _ -> Some e
+        | Ir.Binop (op, x, y) -> (
+            match (fold x, fold y) with
+            | ( Some { Ir.e_kind = Ir.Const vx; _ },
+                Some { Ir.e_kind = Ir.Const vy; _ } ) -> (
+                match Ir.fold_binop op vx vy with
+                | Some v -> Some (Ir.mk e.Ir.e_ty (Ir.Const v))
+                | None -> None)
+            | _ -> None)
+        | Ir.Unop (op, x) -> (
+            match fold x with
+            | Some { Ir.e_kind = Ir.Const vx; _ } ->
+                Some (Ir.mk e.Ir.e_ty (Ir.Const (Ir.fold_unop op vx)))
+            | _ -> None)
+        | _ -> None
+      in
+      match fold a' with
+      | Some c -> c
+      | None -> Loc.fail loc "glue: eval of a non-constant")
+  | Ast.Ebuiltin ("high", [ a ]) -> (
+      let a' = build_rhs rule loc bindings a in
+      match a'.Ir.e_kind with
+      | Ir.Const v -> Ir.mk Ir.I32 (Ir.Const ((Ir.mask32 v lsr 16) land 0xFFFF))
+      | _ -> Loc.fail loc "glue: high of a non-constant")
+  | Ast.Ebuiltin ("low", [ a ]) -> (
+      let a' = build_rhs rule loc bindings a in
+      match a'.Ir.e_kind with
+      | Ir.Const v -> Ir.mk Ir.I32 (Ir.Const (v land 0xFFFF))
+      | _ -> Loc.fail loc "glue: low of a non-constant")
+  | Ast.Eflt _ | Ast.Ename _ | Ast.Emem _ | Ast.Ebuiltin _ ->
+      Loc.fail loc "glue: unsupported right-hand side construct"
+
+(* ------------------------------------------------------------------ *)
+(* Single bottom-up rewriting pass                                     *)
+(* ------------------------------------------------------------------ *)
+
+let try_rules model (il : Ir.expr) : Ir.expr =
+  let rec go = function
+    | [] -> il
+    | (rule : Ast.glue_decl) :: rest -> (
+        let bindings = Hashtbl.create 4 in
+        match match_lhs model rule rule.Ast.g_lhs il bindings with
+        | () -> build_rhs rule rule.Ast.g_loc bindings rule.Ast.g_rhs
+        | exception No_match -> go rest)
+  in
+  go model.Model.glues
+
+let rec rewrite model (e : Ir.expr) : Ir.expr =
+  let e' =
+    match e.Ir.e_kind with
+    | Ir.Const _ | Ir.Sym _ | Ir.Slotaddr _ | Ir.Temp _ -> e
+    | Ir.Unop (op, a) ->
+        let a' = rewrite model a in
+        if a' == a then e else Ir.mk e.Ir.e_ty (Ir.Unop (op, a'))
+    | Ir.Load a ->
+        let a' = rewrite model a in
+        if a' == a then e else Ir.mk e.Ir.e_ty (Ir.Load a')
+    | Ir.Cvt (t, a) ->
+        let a' = rewrite model a in
+        if a' == a then e else Ir.mk e.Ir.e_ty (Ir.Cvt (t, a'))
+    | Ir.Binop (op, a, b) ->
+        let a' = rewrite model a and b' = rewrite model b in
+        if a' == a && b' == b then e else Ir.mk e.Ir.e_ty (Ir.Binop (op, a', b'))
+    | Ir.Rel (op, a, b) ->
+        let a' = rewrite model a and b' = rewrite model b in
+        if a' == a && b' == b then e else Ir.mk e.Ir.e_ty (Ir.Rel (op, a', b'))
+  in
+  try_rules model e'
+
+let rewrite_stmt model (s : Ir.stmt) : Ir.stmt =
+  match s with
+  | Ir.Assign (t, e) -> Ir.Assign (t, rewrite model e)
+  | Ir.Store (ty, a, v) -> Ir.Store (ty, rewrite model a, rewrite model v)
+  | Ir.Jump _ | Ir.Ret None -> s
+  | Ir.Ret (Some e) -> Ir.Ret (Some (rewrite model e))
+  | Ir.Call { dst; fn; args } ->
+      Ir.Call { dst; fn; args = List.map (rewrite model) args }
+  | Ir.Cjump (rel, a, b, l) -> (
+      (* view the condition as a Rel tree so condition-level rules (the
+         paper's compare glue) can match the whole comparison *)
+      let cond = Ir.mk Ir.I32 (Ir.Rel (rel, rewrite model a, rewrite model b)) in
+      let cond' = try_rules model cond in
+      match cond'.Ir.e_kind with
+      | Ir.Rel (rel', a', b') -> Ir.Cjump (rel', a', b', l)
+      | _ -> Ir.Cjump (Ir.Ne, cond', Ir.mk Ir.I32 (Ir.Const 0), l))
+
+let transform_func model (fn : Ir.func) =
+  List.iter
+    (fun (b : Ir.block) ->
+      b.Ir.b_stmts <- List.map (rewrite_stmt model) b.Ir.b_stmts)
+    fn.Ir.fn_blocks

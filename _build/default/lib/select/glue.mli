@@ -1,0 +1,24 @@
+(** Glue transformations (paper 3.4): tree-to-tree rewrites applied to the
+    IL before code selection, as specified by the %glue directives of the
+    machine description.
+
+    Rules are applied in a single bottom-up pass per expression (children
+    first, at most one rule per node, first matching rule wins), so a rule
+    whose right-hand side still matches its own left-hand side — like the
+    paper's compare expansion — terminates. *)
+
+val vtype_to_ir : Ast.vtype -> Ir.ty
+
+val ir_to_vtypes : Ir.ty -> Ast.vtype list
+(** The Maril types an IL type may inhabit, most specific first (e.g. [I8]
+    is [char], but lives happily in an [int] register class). *)
+
+val binop_of_maril : Ast.binop -> Ir.binop
+
+val relop_of_maril : Ast.relop -> Ir.relop option
+
+val class_accepts : Model.t -> Model.rclass -> Ir.ty -> bool
+(** Can a value of this IL type live in this register class? *)
+
+val transform_func : Model.t -> Ir.func -> unit
+(** Rewrite every statement of the function in place. *)

@@ -1,0 +1,30 @@
+(** Code selection: IL to MIR by recursive-descent brute-force tree
+    pattern matching (paper 2.1).
+
+    Patterns are derived from the %instr semantics in the machine
+    description. The matcher tries instructions in description order and
+    commits to the first whose pattern (and operand constraints: register
+    classes, immediate ranges, hard registers, type constraints) matches;
+    subtrees are selected recursively into the register class the operand
+    demands, with roll-back on failure.
+
+    Selection also lowers calls and returns per the CWVM (argument and
+    result registers, call clobbers) and expands *func escapes through the
+    registered expanders. *)
+
+exception No_pattern of string
+(** No instruction pattern covers an IL construct on this target. *)
+
+val select_func : Model.t -> Ir.func -> Mir.func
+(** Glue must already have been applied (see {!Glue.transform_func}). *)
+
+val select_prog : Model.t -> Ir.prog -> Mir.prog
+(** Applies glue, selects every function, and carries the globals over. *)
+
+val class_for_ty : Model.t -> Ir.ty -> int
+(** The general-purpose register class a value of this type lives in. *)
+
+val emit_move : Mir.func -> dst:Mir.operand -> src:Mir.operand -> cls:int ->
+  Mir.inst list
+(** The move-instruction sequence for one register class, expanding escape
+    moves; shared with the register allocator and the strategies. *)

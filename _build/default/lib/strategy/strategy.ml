@@ -1,0 +1,141 @@
+type name = Naive | Postpass | Ips | Rase
+
+let all = [ Naive; Postpass; Ips; Rase ]
+
+let to_string = function
+  | Naive -> "naive"
+  | Postpass -> "postpass"
+  | Ips -> "ips"
+  | Rase -> "rase"
+
+let of_string = function
+  | "naive" -> Some Naive
+  | "postpass" -> Some Postpass
+  | "ips" -> Some Ips
+  | "rase" -> Some Rase
+  | _ -> None
+
+type report = {
+  strategy : name;
+  spilled : int;
+  block_estimates : (string, int) Hashtbl.t;
+  schedule_passes : int;
+}
+
+let record_estimates tbl fn options =
+  List.iter
+    (fun (label, len) -> Hashtbl.replace tbl label len)
+    (Listsched.estimate_func ~options fn);
+  List.length fn.Mir.f_blocks
+
+(* The largest register budget worth exploring for RASE estimates. *)
+let max_budget (model : Model.t) =
+  Array.fold_left
+    (fun acc (c : Model.rclass) ->
+      max acc (List.length (Model.allocable_of_class model c.Model.c_id)))
+    1 model.Model.classes
+
+let apply_fn strategy (fn : Mir.func) =
+  let spilled = ref 0 in
+  let passes = ref 0 in
+  let estimates = Hashtbl.create 16 in
+  (match strategy with
+  | Naive ->
+      let st = Regalloc.allocate ~forbid_global_pregs:true fn in
+      spilled := st.Regalloc.spilled;
+      Delay.fill_func fn;
+      (* the "estimate" of unscheduled code is its in-order issue span *)
+      passes :=
+        !passes + record_estimates estimates fn
+          { Listsched.default_options with Listsched.fill_delay = false }
+      (* NOTE: estimating naive code with the list scheduler slightly
+         flatters it; the naive strategy is only a baseline *)
+  | Postpass ->
+      (* global register allocation followed by instruction scheduling *)
+      let st = Regalloc.allocate fn in
+      spilled := st.Regalloc.spilled;
+      ignore (Listsched.schedule_func fn);
+      passes := !passes + record_estimates estimates fn Listsched.default_options;
+      passes := !passes + List.length fn.Mir.f_blocks
+  | Ips ->
+      (* prepass schedule under a register-use limit, allocate, schedule
+         again *)
+      let prepass =
+        {
+          Listsched.default_options with
+          Listsched.reg_limit = Listsched.Auto_minus 1;
+          fill_delay = false;
+        }
+      in
+      ignore (Listsched.schedule_func ~options:prepass fn);
+      passes := !passes + List.length fn.Mir.f_blocks;
+      let st = Regalloc.allocate fn in
+      spilled := st.Regalloc.spilled;
+      ignore (Listsched.schedule_func fn);
+      passes := !passes + record_estimates estimates fn Listsched.default_options;
+      passes := !passes + List.length fn.Mir.f_blocks
+  | Rase ->
+      (* gather schedule cost estimates under varying register budgets
+         (the expensive part: the scheduler runs once per budget per
+         block), pick the budget where the estimated cost stops improving,
+         then allocate under it and schedule finally *)
+      let model = fn.Mir.f_model in
+      let budgets = max_budget model in
+      let cost_at = Array.make (budgets + 1) max_int in
+      for n = 1 to budgets do
+        let options =
+          {
+            Listsched.default_options with
+            Listsched.reg_limit = Listsched.Fixed n;
+            fill_delay = false;
+          }
+        in
+        let total =
+          List.fold_left
+            (fun acc (_, len) -> acc + len)
+            0
+            (Listsched.estimate_func ~options fn)
+        in
+        passes := !passes + List.length fn.Mir.f_blocks;
+        cost_at.(n) <- total
+      done;
+      let best = ref 1 in
+      for n = 2 to budgets do
+        if cost_at.(n) < cost_at.(!best) then best := n
+      done;
+      (* prepass under the chosen budget communicates the schedule's
+         register appetite to the allocator *)
+      let prepass =
+        {
+          Listsched.default_options with
+          Listsched.reg_limit = Listsched.Fixed !best;
+          fill_delay = false;
+        }
+      in
+      ignore (Listsched.schedule_func ~options:prepass fn);
+      passes := !passes + List.length fn.Mir.f_blocks;
+      let st = Regalloc.allocate fn in
+      spilled := st.Regalloc.spilled;
+      ignore (Listsched.schedule_func fn);
+      passes := !passes + record_estimates estimates fn Listsched.default_options;
+      passes := !passes + List.length fn.Mir.f_blocks);
+  Frame.layout fn;
+  (!spilled, estimates, !passes)
+
+let apply strategy (prog : Mir.prog) : report =
+  let spilled = ref 0 in
+  let passes = ref 0 in
+  let estimates = Hashtbl.create 64 in
+  List.iter
+    (fun fn ->
+      let s, e, p = apply_fn strategy fn in
+      spilled := !spilled + s;
+      passes := !passes + p;
+      Hashtbl.iter (fun k v -> Hashtbl.replace estimates k v) e)
+    prog.Mir.p_funcs;
+  { strategy; spilled = !spilled; block_estimates = estimates; schedule_passes = !passes }
+
+let compile model strategy (ir : Ir.prog) =
+  let prog = Select.select_prog model ir in
+  let report = apply strategy prog in
+  (prog, report)

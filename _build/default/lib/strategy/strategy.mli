@@ -1,0 +1,44 @@
+(** Code generation strategies (paper 2): the part of the code generator
+    that directs the invocation of, and communication between, instruction
+    scheduling and global register allocation. Strategies plug into the
+    target- and strategy-independent machinery (selector, allocator, code
+    DAG builder, scheduling support) without changing it.
+
+    - {b Naive} — local-only baseline: no global register allocation, no
+      scheduling. Stands in for the paper's [cc -O1] comparison point.
+    - {b Postpass} (Gibbons & Muchnick / Hennessy & Gross) — global
+      register allocation first, then list scheduling of the final code.
+    - {b IPS}, Integrated Prepass Scheduling (Goodman & Hsu) — schedule
+      with a limit on local register use, allocate globally, schedule
+      again.
+    - {b RASE}, Register Allocation with Schedule Estimates (Bradlee,
+      Eggers & Henry) — run the scheduler repeatedly to gather schedule
+      cost estimates under varying register budgets, use the estimates to
+      choose the register/schedule trade-off, then allocate and do final
+      scheduling. *)
+
+type name = Naive | Postpass | Ips | Rase
+
+val all : name list
+
+val to_string : name -> string
+
+val of_string : string -> name option
+
+type report = {
+  strategy : name;
+  spilled : int;  (** pseudo-registers spilled across all functions *)
+  block_estimates : (string, int) Hashtbl.t;
+      (** scheduler cost estimate per block label — the estimated-cycles
+          side of Table 4 *)
+  schedule_passes : int;  (** how many block schedules were computed *)
+}
+
+val apply : name -> Mir.prog -> report
+(** Run the strategy over every function of a selected program: scheduling
+    and register allocation per the strategy, then frame layout. The
+    program is rewritten in place and is ready for the simulator or the
+    assembly printer. *)
+
+val compile : Model.t -> name -> Ir.prog -> Mir.prog * report
+(** Glue + selection + {!apply}. *)

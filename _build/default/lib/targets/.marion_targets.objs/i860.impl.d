@@ -1,0 +1,1 @@
+lib/targets/i860.ml: Builder Funcs Loc Mir Model

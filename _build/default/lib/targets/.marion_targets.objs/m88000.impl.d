@@ -1,0 +1,1 @@
+lib/targets/m88000.ml: Builder Funcs Loc Mir Model

@@ -1,0 +1,1 @@
+lib/targets/r2000.mli: Model

@@ -1,0 +1,1 @@
+lib/targets/toyp.ml: Builder Funcs Loc Mir Model

@@ -1,0 +1,1 @@
+lib/targets/toyp.mli: Model

@@ -1,0 +1,312 @@
+(* Intel i860, after the i860 64-bit Microprocessor Programmer's Reference
+   Manual — the paper's hardest target and the reason Maril grew classes
+   and temporal scheduling (paper 4.5/4.6).
+
+   The floating point unit is modeled exactly as section 4.5 describes:
+   a long instruction word whose fields correspond to the three multiplier
+   stages M1 M2 M3, the three adder stages A1 A2 A3 and the write-back bus
+   FWB. The individual pipestage sub-operations are declared as
+   instructions:
+
+     MA1 d, d   launch a multiply          (m1 = $1 * $2)
+     MA2 / MA3  advance the multiply pipe  (m2 = m1; m3 = m2)
+     MWB d      catch the result           ($1 = m3)
+
+   and likewise AA1/AS1, AA2, AA3, AWB for the adder; CHA/CHS/CHR chain
+   the multiplier output straight into the adder. The pipes are explicitly
+   advanced: each sub-operation affects its pipe's clock, the latches are
+   temporal registers, and packing legality is the non-empty intersection
+   of the sub-operations' classes. A fully packed cycle {MA1 MA2 MA3 MWB}
+   is one pfmul word; {MA1..} ∪ {AA1..} meeting in m12apm is a
+   dual-operation word; a core instruction may issue alongside because the
+   core and FP units share no resources.
+
+   The code selector reaches the sub-operations through *func escapes —
+   *fmul.d, *fadd.d, *fsub.d, and the fused *pfmadd family — which is how
+   the paper's i860 description spends most of its 399 lines of func
+   code. *)
+
+let description =
+  {|
+declare {
+  %reg r[0:31] (int);
+  %reg f[0:31] (float);
+  %reg d[0:15] (double);
+  %equiv f[0] d[0];
+  %reg fcc[0:0] (int);
+  %clock clk_a; clk_m; clk_l; clk_g;
+  %reg m1 (double; clk_m) +temporal;
+  %reg m2 (double; clk_m) +temporal;
+  %reg m3 (double; clk_m) +temporal;
+  %reg a1 (double; clk_a) +temporal;
+  %reg a2 (double; clk_a) +temporal;
+  %reg a3 (double; clk_a) +temporal;
+  %reg tr (double);                /* the T latch between the two pipes */
+  %resource CI; CEX; CLS;          /* core issue, execute, load/store */
+  %resource M1; M2; M3;            /* multiplier stages */
+  %resource A1; A2; A3;            /* adder stages */
+  %resource FWB;                   /* FP result write-back bus */
+  %resource FLS;                   /* FP load/store path */
+  %def simm16 [-32768:32767];
+  %def uimm16 [0:65535];
+  %def addr32 [-2147483648:2147483647] +abs;
+  %label rel26 [-33554432:33554431] +relative;
+  %memory m[0:2147483647];
+
+  /* long-instruction-word elements (DPC opcodes) */
+  %element pfadd; pfsub; pfmul; m12apm; m12asm; r2p1; r2s1; i2p1; i2s1;
+  %element m12tpm; m12ttpa; mr2p1; ratlp2; m12tpa;
+  %class addops {pfadd, m12apm, r2p1, i2p1, ratlp2, m12ttpa, m12tpa};
+  %class subops {pfsub, m12asm, r2s1, i2s1};
+  %class mulops {pfmul, m12apm, m12asm, m12tpm, m12ttpa, mr2p1, ratlp2, m12tpa};
+  %class anyop {pfadd, pfsub, pfmul, m12apm, m12asm, r2p1, r2s1, i2p1, i2s1,
+                m12tpm, m12ttpa, mr2p1, ratlp2, m12tpa};
+}
+cwvm {
+  %general (int) r;
+  %general (float) f;
+  %general (double) d;
+  %allocable r[4:27], d[2:15], f[2:3], fcc[0];
+  %calleesave r[20:27], d[10:15];
+  %SP r[2] +down;
+  %fp r[3] +down;
+  %retaddr r[1];
+  %hard r[0] 0;
+  %arg (int) r[16] 1;
+  %arg (int) r[17] 2;
+  %arg (int) r[18] 3;
+  %arg (int) r[19] 4;
+  %arg (double) d[4] 1;
+  %arg (double) d[5] 2;
+  %result r[16] (int);
+  %result d[4] (double);
+  %result f[8] (float);
+}
+instr {
+  /* ================= floating point: escapes first ================= */
+  /* fused multiply-add/sub forms chain the multiplier into the adder */
+  %instr *pfmadd d, d, d, d (double) {$1 = $2 * $3 + $4;} [] (0,0,0)
+  %instr *pfmaddr d, d, d, d (double) {$1 = $2 + $3 * $4;} [] (0,0,0)
+  %instr *pfmsub d, d, d, d (double) {$1 = $2 * $3 - $4;} [] (0,0,0)
+  %instr *pfmsubr d, d, d, d (double) {$1 = $2 - $3 * $4;} [] (0,0,0)
+  %instr *fmul.d d, d, d (double) {$1 = $2 * $3;} [] (0,0,0)
+  %instr *fadd.d d, d, d (double) {$1 = $2 + $3;} [] (0,0,0)
+  %instr *fsub.d d, d, d (double) {$1 = $2 - $3;} [] (0,0,0)
+
+  /* ---- multiplier pipe sub-operations (Figure 5) ---- */
+  %instr [m.launch] MA1 d, d (double; clk_m) {m1 = $1 * $2;} [M1;] (1,1,0) <mulops>
+  %instr [m.adv2] MA2 (double; clk_m) {m2 = m1;} [M2;] (1,1,0) <mulops>
+  %instr [m.adv3] MA3 (double; clk_m) {m3 = m2;} [M3;] (1,1,0) <mulops>
+  %instr [m.catch] MWB d (double; clk_m) {$1 = m3;} [FWB;] (1,1,0) <anyop>
+
+  /* ---- adder pipe sub-operations ---- */
+  %instr [a.launch] AA1 d, d (double; clk_a) {a1 = $1 + $2;} [A1;] (1,1,0) <addops>
+  %instr [a.launchs] AS1 d, d (double; clk_a) {a1 = $1 - $2;} [A1;] (1,1,0) <subops>
+  %instr [a.adv2] AA2 (double; clk_a) {a2 = a1;} [A2;] (1,1,0) <addops, subops>
+  %instr [a.adv3] AA3 (double; clk_a) {a3 = a2;} [A3;] (1,1,0) <addops, subops>
+  %instr [a.catch] AWB d (double; clk_a) {$1 = a3;} [FWB;] (1,1,0) <anyop>
+
+  /* ---- chaining: multiplier output feeds the adder (paper 4.6) ---- */
+  %instr [a.chain] CHA d (double; clk_a) {a1 = m3 + $1;} [A1;] (1,1,0) <m12apm, ratlp2>
+  %instr [a.chains] CHS d (double; clk_a) {a1 = m3 - $1;} [A1;] (1,1,0) <m12asm>
+  %instr [a.chainr] CHR d (double; clk_a) {a1 = $1 - m3;} [A1;] (1,1,0) <m12asm>
+  %instr [t.load] TLD (double; clk_m) {tr = m3;} [FWB;] (1,1,0) <m12tpm, m12ttpa>
+  %instr [a.fromt] ATA d (double; clk_a) {a1 = tr + $1;} [A1;] (1,1,0) <m12ttpa, m12tpa>
+
+  /* scalar (non-pipelined) FP for the float class and divisions */
+  %instr fdiv.d d, d, d (double) {$1 = $2 / $3;}
+         [M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
+          M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
+          M1; M1; M1; M1; M1; M1; FWB;] (1,38,0)
+  %instr fneg.dd d, d (double) {$1 = -$2;} [A1; A2; A3, FWB;] (1,3,0)
+  %instr fadd.ss f, f, f (float) {$1 = $2 + $3;} [A1; A2; A3, FWB;] (1,3,0)
+  %instr fsub.ss f, f, f (float) {$1 = $2 - $3;} [A1; A2; A3, FWB;] (1,3,0)
+  %instr fmul.ss f, f, f (float) {$1 = $2 * $3;} [M1; M2; M3, FWB;] (1,3,0)
+  %instr fdiv.ss f, f, f (float) {$1 = $2 / $3;}
+         [M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
+          M1; M1; M1; M1; M1; M1; FWB;] (1,22,0)
+  %instr fcvt.i.d d, r (double) {$1 = double($2);} [CI, A1; A2; A3, FWB;] (1,4,0)
+  %instr fcvt.d.i r, d (int) {$1 = int($2);} [CI, A1; A2; A3, FWB;] (1,4,0)
+  %instr fcvt.s.d f, d (float) {$1 = float($2);} [A1; A2; A3, FWB;] (1,3,0)
+  %instr fcvt.d.s d, f (double) {$1 = double($2);} [A1; A2; A3, FWB;] (1,3,0)
+  %instr fcvt.i.s f, r (float) {$1 = float($2);} [CI, A1; A2; A3, FWB;] (1,4,0)
+  %instr fcvt.s.i r, f (int) {$1 = int($2);} [CI, A1; A2; A3, FWB;] (1,4,0)
+
+  %instr pfeq fcc, d, d (int) {$1 = $2 == $3;} [A1; A2, FWB;] (1,2,0)
+  %instr pflt fcc, d, d (int) {$1 = $2 < $3;} [A1; A2, FWB;] (1,2,0)
+  %instr pfle fcc, d, d (int) {$1 = $2 <= $3;} [A1; A2, FWB;] (1,2,0)
+  %instr pfne fcc, d, d (int) {$1 = $2 != $3;} [A1; A2, FWB;] (1,2,0)
+  %instr bc fcc, #rel26 {if ($1 != 0) goto $2;} [CI; CEX;] (1,1,0)
+  %instr bnc fcc, #rel26 {if ($1 == 0) goto $2;} [CI; CEX;] (1,1,0)
+  %glue d, d {(($1 >  $2) != 0) ==> (($2 <  $1) != 0);}
+  %glue d, d {(($1 >= $2) != 0) ==> (($2 <= $1) != 0);}
+
+  /* ================= core unit ================= */
+  %instr adds r, r, r (int) {$1 = $2 + $3;} [CI; CEX;] (1,1,0)
+  %instr addi r, r, #simm16 (int) {$1 = $2 + $3;} [CI; CEX;] (1,1,0)
+  %instr subs r, r, r (int) {$1 = $2 - $3;} [CI; CEX;] (1,1,0)
+  %instr li r, #simm16 (int) {$1 = $2;} [CI; CEX;] (1,1,0)
+  %instr orh r, #uimm16 (int) {$1 = $2 << 16;} [CI; CEX;] (1,1,0)
+  %instr or r, r, r (int) {$1 = $2 | $3;} [CI; CEX;] (1,1,0)
+  %instr ori r, r, #uimm16 (int) {$1 = $2 | $3;} [CI; CEX;] (1,1,0)
+  %instr and r, r, r (int) {$1 = $2 & $3;} [CI; CEX;] (1,1,0)
+  %instr andi r, r, #uimm16 (int) {$1 = $2 & $3;} [CI; CEX;] (1,1,0)
+  %instr xor r, r, r (int) {$1 = $2 ^ $3;} [CI; CEX;] (1,1,0)
+  %instr neg r, r (int) {$1 = -$2;} [CI; CEX;] (1,1,0)
+  %instr not r, r (int) {$1 = ~$2;} [CI; CEX;] (1,1,0)
+  %instr shli r, r, #uimm16 (int) {$1 = $2 << $3;} [CI; CEX;] (1,1,0)
+  %instr shl r, r, r (int) {$1 = $2 << $3;} [CI; CEX;] (1,1,0)
+  %instr shrai r, r, #uimm16 (int) {$1 = $2 >> $3;} [CI; CEX;] (1,1,0)
+  %instr shra r, r, r (int) {$1 = $2 >> $3;} [CI; CEX;] (1,1,0)
+  %instr shri r, r, #uimm16 (int) {$1 = $2 >>> $3;} [CI; CEX;] (1,1,0)
+  %instr shr r, r, r (int) {$1 = $2 >>> $3;} [CI; CEX;] (1,1,0)
+  %instr la r, #addr32 (int) {$1 = $2;} [CI; CI,CEX;] (1,2,0)
+  %instr slt r, r, r (int) {$1 = $2 < $3;} [CI; CEX;] (1,1,0)
+  %instr sle r, r, r (int) {$1 = $2 <= $3;} [CI; CEX;] (1,1,0)
+  %instr seq r, r, r (int) {$1 = $2 == $3;} [CI; CEX;] (1,1,0)
+  %instr sne r, r, r (int) {$1 = $2 != $3;} [CI; CEX;] (1,1,0)
+
+  /* integer multiply runs through the FP multiplier on the i860 */
+  %instr imul r, r, r (int) {$1 = $2 * $3;} [CI, M1; M2; M3, FWB;] (1,4,0)
+  %instr idiv r, r, r (int) {$1 = $2 / $3;}
+         [CI, M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
+          M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
+          M1; M1; M1; M1; M1; M1; FWB;] (1,37,0)
+  %instr irem r, r, r (int) {$1 = $2 % $3;}
+         [CI, M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
+          M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
+          M1; M1; M1; M1; M1; M1; FWB;] (1,37,0)
+
+  /* ---- memory ---- */
+  %instr ld.l r, r, #simm16 (int) {$1 = m[$2 + $3];} [CI; CEX; CLS;] (1,2,0)
+  %instr ld.b r, r, #simm16 (char) {$1 = m[$2 + $3];} [CI; CEX; CLS;] (1,2,0)
+  %instr ld.s r, r, #simm16 (short) {$1 = m[$2 + $3];} [CI; CEX; CLS;] (1,2,0)
+  %instr st.l r, r, #simm16 {m[$2 + $3] = $1;} [CI; CEX; CLS;] (1,1,0)
+  %instr st.b r, r, #simm16 {m[$2 + $3] = char($1);} [CI; CEX; CLS;] (1,1,0)
+  %instr st.s r, r, #simm16 {m[$2 + $3] = short($1);} [CI; CEX; CLS;] (1,1,0)
+  %instr fld.d d, r, #simm16 (double) {$1 = m[$2 + $3];} [CI; CEX; CLS, FLS;] (1,3,0)
+  %instr fst.d d, r, #simm16 {m[$2 + $3] = $1;} [CI; CEX; CLS, FLS;] (1,1,0)
+  %instr fld.l f, r, #simm16 (float) {$1 = m[$2 + $3];} [CI; CEX; CLS, FLS;] (1,2,0)
+  %instr fst.l f, r, #simm16 {m[$2 + $3] = $1;} [CI; CEX; CLS, FLS;] (1,1,0)
+
+
+  /* zero cost dummy conversions (paper 3.3): loads sign-extend, so
+     narrow-to-wide integer conversions cost nothing; narrowing happens
+     at the store */
+  %instr cvt.b.w r, r (int) {$1 = int($2);} [] (0,0,0)
+  %instr cvt.w.b r, r (char) {$1 = char($2);} [] (0,0,0)
+  %instr cvt.h.w r, r (int) {$1 = int($2);} [] (0,0,0)
+  %instr cvt.w.h r, r (short) {$1 = short($2);} [] (0,0,0)
+
+  /* ---- control: br/call have one delay slot ---- */
+  %instr bte r, r, #rel26 {if ($1 == $2) goto $3;} [CI; CEX;] (1,1,0)
+  %instr btne r, r, #rel26 {if ($1 != $2) goto $3;} [CI; CEX;] (1,1,0)
+  %instr blt r, r, #rel26 {if ($1 < $2) goto $3;} [CI; CI,CEX;] (1,1,0)
+  %instr bge r, r, #rel26 {if ($1 >= $2) goto $3;} [CI; CI,CEX;] (1,1,0)
+  %instr ble r, r, #rel26 {if ($1 <= $2) goto $3;} [CI; CI,CEX;] (1,1,0)
+  %instr bgt r, r, #rel26 {if ($1 > $2) goto $3;} [CI; CI,CEX;] (1,1,0)
+  %instr blt0 r, #rel26 {if ($1 < 0) goto $2;} [CI; CEX;] (1,1,0)
+  %instr bge0 r, #rel26 {if ($1 >= 0) goto $2;} [CI; CEX;] (1,1,0)
+  %instr br #rel26 {goto $1;} [CI; CEX;] (1,1,1)
+  %instr call #rel26 {call $1;} [CI; CEX;] (1,1,1)
+  %instr bri r {goto $1;} [CI; CEX;] (1,1,1)
+  %instr nop {nop;} [CI;] (1,1,0)
+
+  /* ---- moves ---- */
+  %move mov r, r (int) {$1 = $2;} [CI; CEX;] (1,1,0)
+  %move fmov.dd d, d (double) {$1 = $2;} [A1; A2; A3, FWB;] (1,3,0)
+  %move fmov.ss f, f (float) {$1 = $2;} [A1; A2; A3, FWB;] (1,3,0)
+  %move movcc fcc, fcc (int) {$1 = $2;} [CI; CEX;] (1,1,0)
+
+  /* ---- auxiliary latencies: pipeline/store interactions ---- */
+  %aux MWB : fst.d (1.$1 == 2.$1) (2)
+  %aux AWB : fst.d (1.$1 == 2.$1) (2)
+  %aux MWB : MA1 (1.$1 == 2.$1) (2)
+  %aux MWB : AA1 (1.$1 == 2.$1) (2)
+  %aux AWB : MA1 (1.$1 == 2.$1) (2)
+  %aux AWB : AA1 (1.$1 == 2.$1) (2)
+  %aux fld.d : MA1 (1.$1 == 2.$1) (4)
+  %aux fld.d : MA1 (1.$1 == 2.$2) (4)
+  %aux fld.d : AA1 (1.$1 == 2.$1) (4)
+  %aux fld.d : AA1 (1.$1 == 2.$2) (4)
+  %aux fld.d : AS1 (1.$1 == 2.$1) (4)
+  %aux fld.d : AS1 (1.$1 == 2.$2) (4)
+}
+|}
+
+let name = "i860"
+
+(* The func escapes: each IL-level double operation expands into the
+   individually schedulable pipestage sub-operations (paper 3.4 and 4.5:
+   "the code selector produces the sequence Ml d4,d5; M2; M3; FWB d6"). *)
+let register_funcs (model : Model.t) =
+  let by_tag tag =
+    match Model.instr_by_tag model tag with
+    | Some i -> i
+    | None -> Loc.fail Loc.dummy "i860: missing tagged sub-operation %S" tag
+  in
+  let mul_seq fn ~a ~b =
+    [
+      Mir.mk_inst fn (by_tag "m.launch") [| a; b |];
+      Mir.mk_inst fn (by_tag "m.adv2") [||];
+      Mir.mk_inst fn (by_tag "m.adv3") [||];
+    ]
+  in
+  let add_seq fn tag ~a ~b =
+    [
+      Mir.mk_inst fn (by_tag tag) [| a; b |];
+      Mir.mk_inst fn (by_tag "a.adv2") [||];
+      Mir.mk_inst fn (by_tag "a.adv3") [||];
+    ]
+  in
+  let chain_seq fn tag ~c =
+    [
+      Mir.mk_inst fn (by_tag tag) [| c |];
+      Mir.mk_inst fn (by_tag "a.adv2") [||];
+      Mir.mk_inst fn (by_tag "a.adv3") [||];
+    ]
+  in
+  Funcs.register model ~name:"fmul.d" (fun fn ops ->
+      match ops with
+      | [| dst; a; b |] ->
+          mul_seq fn ~a ~b @ [ Mir.mk_inst fn (by_tag "m.catch") [| dst |] ]
+      | _ -> Loc.fail Loc.dummy "fmul.d expects three operands");
+  Funcs.register model ~name:"fadd.d" (fun fn ops ->
+      match ops with
+      | [| dst; a; b |] ->
+          add_seq fn "a.launch" ~a ~b
+          @ [ Mir.mk_inst fn (by_tag "a.catch") [| dst |] ]
+      | _ -> Loc.fail Loc.dummy "fadd.d expects three operands");
+  Funcs.register model ~name:"fsub.d" (fun fn ops ->
+      match ops with
+      | [| dst; a; b |] ->
+          add_seq fn "a.launchs" ~a ~b
+          @ [ Mir.mk_inst fn (by_tag "a.catch") [| dst |] ]
+      | _ -> Loc.fail Loc.dummy "fsub.d expects three operands");
+  (* dst = a*b + c : multiply, chain into the adder, drain, catch *)
+  let fused fn ~dst ~a ~b ~c chain =
+    mul_seq fn ~a ~b
+    @ chain_seq fn chain ~c
+    @ [ Mir.mk_inst fn (by_tag "a.catch") [| dst |] ]
+  in
+  Funcs.register model ~name:"pfmadd" (fun fn ops ->
+      match ops with
+      | [| dst; a; b; c |] -> fused fn ~dst ~a ~b ~c "a.chain"
+      | _ -> Loc.fail Loc.dummy "pfmadd expects four operands");
+  Funcs.register model ~name:"pfmaddr" (fun fn ops ->
+      match ops with
+      | [| dst; c; a; b |] -> fused fn ~dst ~a ~b ~c "a.chain"
+      | _ -> Loc.fail Loc.dummy "pfmaddr expects four operands");
+  Funcs.register model ~name:"pfmsub" (fun fn ops ->
+      match ops with
+      | [| dst; a; b; c |] -> fused fn ~dst ~a ~b ~c "a.chains"
+      | _ -> Loc.fail Loc.dummy "pfmsub expects four operands");
+  Funcs.register model ~name:"pfmsubr" (fun fn ops ->
+      match ops with
+      | [| dst; c; a; b |] -> fused fn ~dst ~a ~b ~c "a.chainr"
+      | _ -> Loc.fail Loc.dummy "pfmsubr expects four operands")
+
+let load () =
+  let model = Builder.load ~name ~file:"<i860.maril>" description in
+  register_funcs model;
+  model

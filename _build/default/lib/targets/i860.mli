@@ -1,0 +1,21 @@
+(** Intel i860 — the paper's hardest target and the reason Maril grew
+    packing classes and temporal scheduling (sections 4.5-4.6).
+
+    The floating point unit is modeled as the paper models it: pipestage
+    sub-operations (MA1/MA2/MA3/MWB for the multiplier, AA1/AS1/AA2/AA3/AWB
+    for the adder, CHA/CHS/CHR for chaining) over explicitly advanced
+    pipelines whose latches are temporal registers on clocks clk_m and
+    clk_a; packing legality is non-empty intersection of the
+    sub-operations' element classes; dual issue of a core instruction next
+    to a floating point word falls out of disjoint resources. *)
+
+val name : string
+
+val description : string
+
+val register_funcs : Model.t -> unit
+(** The seven *func escapes: *fadd.d, *fsub.d, *fmul.d and the fused
+    *pfmadd family, each producing the individually schedulable
+    sub-operation sequences of paper 4.5. *)
+
+val load : unit -> Model.t

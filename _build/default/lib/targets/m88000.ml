@@ -1,0 +1,197 @@
+(* Motorola 88000 (MC88100), after the MC88100 RISC Microprocessor User's
+   Manual — the paper's third commercial target.
+
+   Modeling notes:
+   - One register file: floating point values live in the 32 general
+     registers, doubles in even/odd pairs (%equiv d[0] r[0]).
+   - The FP add unit (SAU) and the multiplier share the register
+     write-back bus, declared as the WBB resource: two FP results cannot
+     retire on the same cycle. The paper notes the 88000 arbitrates this
+     bus by priority and that Marion instead gives priority to the
+     instruction scheduled first — which is exactly what a composite
+     resource vector does.
+   - Integer multiply executes in the FP multiplier.
+   - Branches have one delay slot (the .n forms).
+   - Six %aux directives model bypass distances between the FP units and
+     the store path (Table 1 records six auxiliary latencies for the
+     88000). *)
+
+let description =
+  {|
+declare {
+  %reg r[0:31] (int);
+  %reg d[0:15] (double);
+  %equiv d[0] r[0];
+  %reg fcc[0:0] (int);
+  %resource IF; ID; EX; MEM; WB;
+  %resource SA1; SA2; SA3; SA4; SA5;     /* FP add (SAU) pipeline */
+  %resource FM1; FM2; FM3; FM4; FM5; FM6; /* FP multiply pipeline */
+  %resource FDIV;
+  %resource WBB;                          /* shared FP write-back bus */
+  %def simm16 [-32768:32767];
+  %def uimm16 [0:65535];
+  %def addr32 [-2147483648:2147483647] +abs;
+  %label rel26 [-33554432:33554431] +relative;
+  %memory m[0:2147483647];
+}
+cwvm {
+  %general (int) r;
+  %general (double) d;
+  %allocable r[2:25], d[1:12], fcc[0];
+  %calleesave r[14:25], r[30:31], d[7:12];
+  %SP r[31] +down;
+  %fp r[30] +down;
+  %retaddr r[1];
+  %hard r[0] 0;
+  %arg (int) r[2] 1;
+  %arg (int) r[3] 2;
+  %arg (int) r[4] 3;
+  %arg (int) r[5] 4;
+  %arg (double) d[1] 1;
+  %arg (double) d[2] 2;
+  %result r[2] (int);
+  %result d[1] (double);
+}
+instr {
+  /* ---- integer unit ---- */
+  %instr addu r, r, r (int) {$1 = $2 + $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr addi r, r, #simm16 (int) {$1 = $2 + $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr subu r, r, r (int) {$1 = $2 - $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr li r, #simm16 (int) {$1 = $2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr oru r, #uimm16 (int) {$1 = $2 << 16;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr or r, r, r (int) {$1 = $2 | $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr ori r, r, #uimm16 (int) {$1 = $2 | $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr and r, r, r (int) {$1 = $2 & $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr andi r, r, #uimm16 (int) {$1 = $2 & $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr xor r, r, r (int) {$1 = $2 ^ $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr neg r, r (int) {$1 = -$2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr not r, r (int) {$1 = ~$2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr maki r, r, #uimm16 (int) {$1 = $2 << $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr mak r, r, r (int) {$1 = $2 << $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr exti r, r, #uimm16 (int) {$1 = $2 >> $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr ext r, r, r (int) {$1 = $2 >> $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr extui r, r, #uimm16 (int) {$1 = $2 >>> $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr extu r, r, r (int) {$1 = $2 >>> $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr la r, #addr32 (int) {$1 = $2;} [IF; IF,ID; EX; MEM; WB;] (1,2,0)
+
+  /* the generic compare: produces a signed condition value */
+  %instr cmp r, r, r (int) {$1 = $2 :: $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+  %glue r, r {($1 != $2) ==> (($1 :: $2) != 0);}
+  %glue r, r {($1 <  $2) ==> (($1 :: $2) <  0);}
+  %glue r, r {($1 <= $2) ==> (($1 :: $2) <= 0);}
+  %glue r, r {($1 >  $2) ==> (($1 :: $2) >  0);}
+  %glue r, r {($1 >= $2) ==> (($1 :: $2) >= 0);}
+  %instr slt r, r, r (int) {$1 = $2 < $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr sle r, r, r (int) {$1 = $2 <= $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr seq r, r, r (int) {$1 = $2 == $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr sne r, r, r (int) {$1 = $2 != $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+
+  /* integer multiply/divide run in the FP multiplier */
+  %instr mul r, r, r (int) {$1 = $2 * $3;}
+         [IF; ID; FM1; FM2; FM3; WBB,WB;] (1,4,0)
+  %instr divs r, r, r (int) {$1 = $2 / $3;}
+         [IF; ID; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; WBB,WB;] (1,37,0)
+  %instr rems r, r, r (int) {$1 = $2 % $3;}
+         [IF; ID; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; WBB,WB;] (1,37,0)
+
+  /* ---- memory ---- */
+  %instr ld r, r, #simm16 (int) {$1 = m[$2 + $3];} [IF; ID; EX; MEM; WB;] (1,3,0)
+  %instr ld.b r, r, #simm16 (char) {$1 = m[$2 + $3];} [IF; ID; EX; MEM; WB;] (1,3,0)
+  %instr ld.h r, r, #simm16 (short) {$1 = m[$2 + $3];} [IF; ID; EX; MEM; WB;] (1,3,0)
+  %instr ld.d d, r, #simm16 (double) {$1 = m[$2 + $3];}
+         [IF; ID; EX; MEM; MEM; WB;] (1,3,0)
+  %instr st r, r, #simm16 {m[$2 + $3] = $1;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr st.b r, r, #simm16 {m[$2 + $3] = char($1);} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr st.h r, r, #simm16 {m[$2 + $3] = short($1);} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr st.d d, r, #simm16 {m[$2 + $3] = $1;} [IF; ID; EX; MEM; MEM; WB;] (1,1,0)
+
+
+  /* zero cost dummy conversions (paper 3.3): loads sign-extend, so
+     narrow-to-wide integer conversions cost nothing; narrowing happens
+     at the store */
+  %instr cvt.b.w r, r (int) {$1 = int($2);} [] (0,0,0)
+  %instr cvt.w.b r, r (char) {$1 = char($2);} [] (0,0,0)
+  %instr cvt.h.w r, r (int) {$1 = int($2);} [] (0,0,0)
+  %instr cvt.w.h r, r (short) {$1 = short($2);} [] (0,0,0)
+
+  /* ---- branches: one delay slot (.n forms) ---- */
+  %instr bcnd.eq0 r, #rel26 {if ($1 == 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bcnd.ne0 r, #rel26 {if ($1 != 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bcnd.lt0 r, #rel26 {if ($1 < 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bcnd.le0 r, #rel26 {if ($1 <= 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bcnd.gt0 r, #rel26 {if ($1 > 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bcnd.ge0 r, #rel26 {if ($1 >= 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr br #rel26 {goto $1;} [IF; ID; EX;] (1,1,1)
+  %instr bsr #rel26 {call $1;} [IF; ID; EX;] (1,1,1)
+  %instr jmp r {goto $1;} [IF; ID; EX;] (1,1,1)
+  %instr nop {nop;} [IF; ID;] (1,1,0)
+
+  /* ---- floating point (SAU 5-stage add, 6-stage multiply) ---- */
+  %instr fadd.d d, d, d (double) {$1 = $2 + $3;}
+         [IF; ID; SA1; SA2; SA3; SA4; SA5; WBB;] (1,5,0)
+  %instr fsub.d d, d, d (double) {$1 = $2 - $3;}
+         [IF; ID; SA1; SA2; SA3; SA4; SA5; WBB;] (1,5,0)
+  %instr fmul.d d, d, d (double) {$1 = $2 * $3;}
+         [IF; ID; FM1; FM2; FM3; FM4; FM5; FM6; WBB;] (1,6,0)
+  %instr fdiv.d d, d, d (double) {$1 = $2 / $3;}
+         [IF; ID; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; WBB;] (1,30,0)
+  %instr fneg.d d, d (double) {$1 = -$2;} [IF; ID; SA1; SA2; WBB;] (1,2,0)
+  %instr flt.d d, r (double) {$1 = double($2);} [IF; ID; SA1; SA2; SA3; WBB;] (1,3,0)
+  %instr int.d r, d (int) {$1 = int($2);} [IF; ID; SA1; SA2; SA3; WBB;] (1,3,0)
+
+  %instr fcmp.eq fcc, d, d (int) {$1 = $2 == $3;} [IF; ID; SA1; SA2; WBB;] (1,2,0)
+  %instr fcmp.lt fcc, d, d (int) {$1 = $2 < $3;} [IF; ID; SA1; SA2; WBB;] (1,2,0)
+  %instr fcmp.le fcc, d, d (int) {$1 = $2 <= $3;} [IF; ID; SA1; SA2; WBB;] (1,2,0)
+  %instr fcmp.ne fcc, d, d (int) {$1 = $2 != $3;} [IF; ID; SA1; SA2; WBB;] (1,2,0)
+  %instr bb1 fcc, #rel26 {if ($1 != 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bb0 fcc, #rel26 {if ($1 == 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %glue d, d {(($1 >  $2) != 0) ==> (($2 <  $1) != 0);}
+  %glue d, d {(($1 >= $2) != 0) ==> (($2 <= $1) != 0);}
+
+  /* ---- moves: doubles live in integer register pairs ---- */
+  %move [s.mov] mov r, r (int) {$1 = $2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %move *mov.d d, d {$1 = $2;} [] (0,0,0)
+  %move movcc fcc, fcc (int) {$1 = $2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+
+  /* ---- bypass distances (auxiliary latencies) ---- */
+  %aux fadd.d : st.d (1.$1 == 2.$1) (6)
+  %aux fsub.d : st.d (1.$1 == 2.$1) (6)
+  %aux fmul.d : st.d (1.$1 == 2.$1) (7)
+  %aux fadd.d : fadd.d (1.$1 == 2.$2) (4)
+  %aux fmul.d : fadd.d (1.$1 == 2.$2) (5)
+  %aux ld.d : fadd.d (1.$1 == 2.$2) (2)
+}
+|}
+
+let name = "m88000"
+
+(* A double move on the 88000 is two integer moves of the register pair
+   (doubles overlay the general registers). *)
+let register_funcs (model : Model.t) =
+  Funcs.register model ~name:"mov.d" (fun fn ops ->
+      let mov =
+        match Model.instr_by_tag model "s.mov" with
+        | Some i -> i
+        | None -> Loc.fail Loc.dummy "m88000: missing [s.mov] tagged move"
+      in
+      match ops with
+      | [| dst; src |] ->
+          [
+            Mir.mk_inst fn mov [| Mir.Opart (dst, 0); Mir.Opart (src, 0) |];
+            Mir.mk_inst fn mov [| Mir.Opart (dst, 1); Mir.Opart (src, 1) |];
+          ]
+      | _ -> Loc.fail Loc.dummy "mov.d expects two operands")
+
+let load () =
+  let model = Builder.load ~name ~file:"<m88000.maril>" description in
+  register_funcs model;
+  model

@@ -1,0 +1,14 @@
+(** Motorola 88000 (MC88100) — the paper's third commercial target.
+    Floating point values live in the general registers (doubles in
+    even/odd pairs); the FP add unit and multiplier share the write-back
+    bus (the WBB resource), reproducing the arbitration the paper
+    discusses; six %aux directives model bypass distances (Table 1). *)
+
+val name : string
+
+val description : string
+
+val register_funcs : Model.t -> unit
+(** The *mov.d escape: a double move is two integer moves of the pair. *)
+
+val load : unit -> Model.t

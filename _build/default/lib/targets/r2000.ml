@@ -1,0 +1,206 @@
+(* MIPS R2000 with the R2010 floating point unit, after Kane ("MIPS R2000
+   RISC Architecture", Prentice Hall 1987) — one of the paper's three
+   commercial targets.
+
+   Modeling notes:
+   - Single issue falls out of every instruction claiming the IF stage on
+     its first cycle.
+   - Loads have latency 2 (the architectural load delay slot, interlocked).
+   - blt/bgt/ble/bge and seq/sne/li/la are the standard assembler pseudos;
+     two-instruction pseudos occupy the fetch stage for two cycles.
+   - mult/div deposit through HI/LO in reality; they are modeled as
+     three-operand pseudos that monopolise the MD unit.
+   - Double-precision values live in even/odd pairs of the 32 single
+     registers (%equiv f[0] d[0]).
+   - Float comparisons set the FPU condition flag, modeled as the
+     one-register class [fcc] consumed by bc1t/bc1f; >/>= comparisons are
+     glued into swapped <=/< (the assembler does the same). *)
+
+let description =
+  {|
+declare {
+  %reg r[0:31] (int);
+  %reg f[0:31] (float);
+  %reg d[0:15] (double);
+  %equiv f[0] d[0];
+  %reg fcc[0:0] (int);
+  %resource IF; ID; EX; MEM; WB;
+  %resource MD;                       /* integer multiply/divide unit */
+  %resource FA1; FA2; FA3;            /* FP add pipeline */
+  %resource FM1; FM2; FM3; FM4; FM5;  /* FP multiply pipeline */
+  %resource FDIV;                     /* FP divide (not pipelined) */
+  %def simm16 [-32768:32767];
+  %def uimm16 [0:65535];
+  %def addr32 [-2147483648:2147483647] +abs;
+  %label rel16 [-32768:32767] +relative;
+  %label abs26 [0:67108863];
+  %memory m[0:2147483647];
+}
+cwvm {
+  %general (int) r;
+  %general (float) f;
+  %general (double) d;
+  %allocable r[2:25], d[1:15], f[2:3], fcc[0];
+  %calleesave r[16:23], r[28:31], d[10:15];
+  %SP r[29] +down;
+  %fp r[30] +down;
+  %gp r[28];
+  %retaddr r[31];
+  %hard r[0] 0;
+  %arg (int) r[4] 1;
+  %arg (int) r[5] 2;
+  %arg (int) r[6] 3;
+  %arg (int) r[7] 4;
+  %arg (double) d[6] 1;
+  %arg (double) d[7] 2;
+  %result r[2] (int);
+  %result d[0] (double);
+  %result f[0] (float);
+}
+instr {
+  /* ---- integer ALU ---- */
+  %instr addu r, r, r (int) {$1 = $2 + $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr addiu r, r, #simm16 (int) {$1 = $2 + $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr subu r, r, r (int) {$1 = $2 - $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr negu r, r (int) {$1 = -$2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr and r, r, r (int) {$1 = $2 & $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr andi r, r, #uimm16 (int) {$1 = $2 & $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr or r, r, r (int) {$1 = $2 | $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr ori r, r, #uimm16 (int) {$1 = $2 | $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr xor r, r, r (int) {$1 = $2 ^ $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr xori r, r, #uimm16 (int) {$1 = $2 ^ $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr nor r, r (int) {$1 = ~$2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr lui r, #uimm16 (int) {$1 = $2 << 16;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr sll r, r, #uimm16 (int) {$1 = $2 << $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr sllv r, r, r (int) {$1 = $2 << $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr srav r, r, r (int) {$1 = $2 >> $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr sra r, r, #uimm16 (int) {$1 = $2 >> $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr srlv r, r, r (int) {$1 = $2 >>> $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr srl r, r, #uimm16 (int) {$1 = $2 >>> $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr slt r, r, r (int) {$1 = $2 < $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr slti r, r, #simm16 (int) {$1 = $2 < $3;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr sle r, r, r (int) {$1 = $2 <= $3;} [IF; IF,ID; EX; MEM; WB;] (1,2,0)
+  %instr sgt r, r, r (int) {$1 = $2 > $3;} [IF; IF,ID; EX; MEM; WB;] (1,2,0)
+  %instr sge r, r, r (int) {$1 = $2 >= $3;} [IF; IF,ID; EX; MEM; WB;] (1,2,0)
+  %instr seq r, r, r (int) {$1 = $2 == $3;} [IF; IF,ID; EX; MEM; WB;] (1,2,0)
+  %instr sne r, r, r (int) {$1 = $2 != $3;} [IF; IF,ID; EX; MEM; WB;] (1,2,0)
+  %instr li r, #simm16 (int) {$1 = $2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr la r, #addr32 (int) {$1 = $2;} [IF; IF,ID; EX; MEM; WB;] (1,2,0)
+
+  /* mult/div monopolise the MD unit (HI/LO modeled away) */
+  %instr mult r, r, r (int) {$1 = $2 * $3;}
+         [IF; ID; EX,MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; WB;] (1,12,0)
+  %instr div r, r, r (int) {$1 = $2 / $3;}
+         [IF; ID; EX,MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+          MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+          MD; WB;] (1,34,0)
+  %instr rem r, r, r (int) {$1 = $2 % $3;}
+         [IF; ID; EX,MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+          MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD; MD;
+          MD; WB;] (1,34,0)
+
+  /* ---- memory; loads carry the architectural load delay ---- */
+  %instr lw r, r, #simm16 (int) {$1 = m[$2 + $3];} [IF; ID; EX; MEM; WB;] (1,2,0)
+  %instr lb r, r, #simm16 (char) {$1 = m[$2 + $3];} [IF; ID; EX; MEM; WB;] (1,2,0)
+  %instr lh r, r, #simm16 (short) {$1 = m[$2 + $3];} [IF; ID; EX; MEM; WB;] (1,2,0)
+  %instr sw r, r, #simm16 {m[$2 + $3] = $1;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr sb r, r, #simm16 {m[$2 + $3] = char($1);} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr sh r, r, #simm16 {m[$2 + $3] = short($1);} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr l.d d, r, #simm16 (double) {$1 = m[$2 + $3];} [IF; ID; EX; MEM; WB;] (1,2,0)
+  %instr s.d d, r, #simm16 {m[$2 + $3] = $1;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %instr l.s f, r, #simm16 (float) {$1 = m[$2 + $3];} [IF; ID; EX; MEM; WB;] (1,2,0)
+  %instr s.s f, r, #simm16 {m[$2 + $3] = $1;} [IF; ID; EX; MEM; WB;] (1,1,0)
+
+
+  /* zero cost dummy conversions (paper 3.3): loads sign-extend, so
+     narrow-to-wide integer conversions cost nothing; narrowing happens
+     at the store */
+  %instr cvt.b.w r, r (int) {$1 = int($2);} [] (0,0,0)
+  %instr cvt.w.b r, r (char) {$1 = char($2);} [] (0,0,0)
+  %instr cvt.h.w r, r (int) {$1 = int($2);} [] (0,0,0)
+  %instr cvt.w.h r, r (short) {$1 = short($2);} [] (0,0,0)
+
+  /* ---- branches: one delay slot ---- */
+  %instr beq r, r, #rel16 {if ($1 == $2) goto $3;} [IF; ID; EX;] (1,1,1)
+  %instr bne r, r, #rel16 {if ($1 != $2) goto $3;} [IF; ID; EX;] (1,1,1)
+  %instr blez r, #rel16 {if ($1 <= 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bgtz r, #rel16 {if ($1 > 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bltz r, #rel16 {if ($1 < 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bgez r, #rel16 {if ($1 >= 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  /* assembler pseudos (slt + branch) */
+  %instr blt r, r, #rel16 {if ($1 < $2) goto $3;} [IF; IF,ID; EX;] (1,1,1)
+  %instr bge r, r, #rel16 {if ($1 >= $2) goto $3;} [IF; IF,ID; EX;] (1,1,1)
+  %instr ble r, r, #rel16 {if ($1 <= $2) goto $3;} [IF; IF,ID; EX;] (1,1,1)
+  %instr bgt r, r, #rel16 {if ($1 > $2) goto $3;} [IF; IF,ID; EX;] (1,1,1)
+  %instr b #rel16 {goto $1;} [IF; ID; EX;] (1,1,1)
+  %instr jal #abs26 {call $1;} [IF; ID; EX;] (1,1,1)
+  %instr jr r {goto $1;} [IF; ID; EX;] (1,1,1)
+  %instr nop {nop;} [IF; ID;] (1,1,0)
+
+  /* ---- floating point (R2010 latencies) ---- */
+  %instr add.d d, d, d (double) {$1 = $2 + $3;} [IF; ID; FA1; FA2; WB;] (1,2,0)
+  %instr sub.d d, d, d (double) {$1 = $2 - $3;} [IF; ID; FA1; FA2; WB;] (1,2,0)
+  %instr mul.d d, d, d (double) {$1 = $2 * $3;}
+         [IF; ID; FM1; FM2; FM3; FM4; FM5; WB;] (1,5,0)
+  %instr div.d d, d, d (double) {$1 = $2 / $3;}
+         [IF; ID; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; WB;] (1,19,0)
+  %instr neg.d d, d (double) {$1 = -$2;} [IF; ID; FA1; WB;] (1,1,0)
+  %instr add.s f, f, f (float) {$1 = $2 + $3;} [IF; ID; FA1; FA2; WB;] (1,2,0)
+  %instr sub.s f, f, f (float) {$1 = $2 - $3;} [IF; ID; FA1; FA2; WB;] (1,2,0)
+  %instr mul.s f, f, f (float) {$1 = $2 * $3;}
+         [IF; ID; FM1; FM2; FM3; FM4; WB;] (1,4,0)
+  %instr div.s f, f, f (float) {$1 = $2 / $3;}
+         [IF; ID; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV; FDIV;
+          FDIV; FDIV; WB;] (1,12,0)
+  %instr neg.s f, f (float) {$1 = -$2;} [IF; ID; FA1; WB;] (1,1,0)
+
+  /* conversions (mtc1/mfc1 transfers folded into the pseudo) */
+  %instr cvt.d.w d, r (double) {$1 = double($2);} [IF; IF,ID; FA1; FA2; WB;] (1,4,0)
+  %instr cvt.w.d r, d (int) {$1 = int($2);} [IF; IF,ID; FA1; FA2; WB;] (1,4,0)
+  %instr cvt.s.w f, r (float) {$1 = float($2);} [IF; IF,ID; FA1; FA2; WB;] (1,4,0)
+  %instr cvt.w.s r, f (int) {$1 = int($2);} [IF; IF,ID; FA1; FA2; WB;] (1,4,0)
+  %instr cvt.d.s d, f (double) {$1 = double($2);} [IF; ID; FA1; FA2; WB;] (1,2,0)
+  %instr cvt.s.d f, d (float) {$1 = float($2);} [IF; ID; FA1; FA2; WB;] (1,2,0)
+
+  /* FP compares set the condition flag; >/>= arrive swapped via glue */
+  %instr c.eq.d fcc, d, d (int) {$1 = $2 == $3;} [IF; ID; FA1; WB;] (1,2,0)
+  %instr c.lt.d fcc, d, d (int) {$1 = $2 < $3;} [IF; ID; FA1; WB;] (1,2,0)
+  %instr c.le.d fcc, d, d (int) {$1 = $2 <= $3;} [IF; ID; FA1; WB;] (1,2,0)
+  %instr c.ne.d fcc, d, d (int) {$1 = $2 != $3;} [IF; ID; FA1; WB;] (1,2,0)
+  %instr bc1t fcc, #rel16 {if ($1 != 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %instr bc1f fcc, #rel16 {if ($1 == 0) goto $2;} [IF; ID; EX;] (1,1,1)
+  %glue d, d {(($1 >  $2) != 0) ==> (($2 <  $1) != 0);}
+  %glue d, d {(($1 >= $2) != 0) ==> (($2 <= $1) != 0);}
+
+  /* register moves; on MIPS I a double move really is two single moves */
+  %move move r, r (int) {$1 = $2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+  %move *mov.d d, d {$1 = $2;} [] (0,0,0)
+  %move [s.movs] mov.s f, f (float) {$1 = $2;} [IF; ID; FA1; WB;] (1,1,0)
+  %move movcc fcc, fcc (int) {$1 = $2;} [IF; ID; EX; MEM; WB;] (1,1,0)
+}
+|}
+
+let name = "r2000"
+
+(* On MIPS I there is no double-precision register move: the assembler's
+   mov.d macro expands to two mov.s of the even/odd halves. *)
+let register_funcs (model : Model.t) =
+  Funcs.register model ~name:"mov.d" (fun fn ops ->
+      let movs =
+        match Model.instr_by_tag model "s.movs" with
+        | Some i -> i
+        | None -> Loc.fail Loc.dummy "r2000: missing [s.movs] tagged move"
+      in
+      match ops with
+      | [| dst; src |] ->
+          [
+            Mir.mk_inst fn movs [| Mir.Opart (dst, 0); Mir.Opart (src, 0) |];
+            Mir.mk_inst fn movs [| Mir.Opart (dst, 1); Mir.Opart (src, 1) |];
+          ]
+      | _ -> Loc.fail Loc.dummy "mov.d expects two operands")
+
+let load () =
+  let model = Builder.load ~name ~file:"<r2000.maril>" description in
+  register_funcs model;
+  model

@@ -1,0 +1,13 @@
+(** MIPS R2000 with the R2010 floating point unit — one of the paper's
+    three commercial targets. Single issue, interlocked 2-cycle loads,
+    one branch delay slot, doubles in even/odd single-register pairs,
+    FPU condition flag modeled as the one-register class [fcc]. *)
+
+val name : string
+
+val description : string
+
+val register_funcs : Model.t -> unit
+(** The *mov.d escape: MIPS I double moves are two single moves. *)
+
+val load : unit -> Model.t

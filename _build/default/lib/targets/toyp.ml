@@ -1,0 +1,204 @@
+(* TOYP, the toy processor used throughout section 3 of the paper.
+
+   [figure_description] is the description exactly as given in Figures 1-3
+   (modulo OCR noise in the published scan): five operations, a 5-stage
+   instruction pipeline, a 5-stage floating point add pipeline, eight
+   32-bit registers overlaid by four 64-bit double registers.
+
+   [description] extends it with enough instructions (sub, mul, double
+   load/store, the remaining compare-and-branch forms, call/return, 32-bit
+   immediates) to compile and run real programs in the examples and tests.
+   The Figure 1-3 content appears verbatim at the top. *)
+
+let figure_declare =
+  {|
+declare {
+  %reg r[0:7] (int);              /* Integer regs */
+  %reg d[0:3] (double);           /* Double float regs */
+  %equiv r[0] d[0];               /* d regs overlap r regs */
+  %resource IF; ID; IE; IA; IW;   /* fetch; decode; execute; access mem; writeback */
+  %resource F1; F2; F3; F4; F5;   /* Floating add pipe */
+  %def const16 [-32768:32767];    /* signed immediate */
+  %label rlab [-32768:32767] +relative;  /* Branch offset */
+  %memory m[0:2147483647];
+}
+|}
+
+let figure_cwvm =
+  {|
+cwvm {
+  %general (int) r;               /* r gpr for int */
+  %general (double) d;            /* d gpr for double */
+  %allocable r[1:5], d[1:2];      /* register allocator */
+  %calleesave r[4:7];             /* saved by callee */
+  %SP r[7] +down;                 /* stack pointer */
+  %fp r[6] +down;                 /* frame pointer */
+  %retaddr r[1];                  /* return address */
+  %hard r[0] 0;                   /* r[0] always 0 */
+  %arg (int) r[2] 1;              /* 1st int arg in r[2] */
+  %arg (int) r[3] 2;              /* 2nd int arg in r[3] */
+  %arg (double) d[1] 1;           /* 1st double arg in d[1] */
+  %result r[2] (int);             /* Int result in r[2] */
+  %result d[1] (double);          /* Double result in d[1] */
+}
+|}
+
+let figure_instr =
+  {|
+instr {
+  %instr add r, r, r (int) {$1 = $2 + $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr add r, r[0], #const16 (int) {$1 = $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr cmp r, r, r (int) {$1 = $2 :: $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr fadd.d d, d, d (double) {$1 = $2 + $3;}
+         [IF; ID; F1,ID; F1; F2; F3; F4; F5; IW,F5;] (1,6,0)
+  %instr beq0 r, #rlab {if ($1 == 0) goto $2;} [IF; ID; IE;] (1,2,1)
+  %instr ld r, r, #const16 (int) {$1 = m[$2 + $3];} [IF; ID; IE; IA; IW;] (1,3,0)
+  %instr st r, r, #const16 {m[$2 + $3] = $1;} [IF; ID; IE; IA; IW;] (1,1,0)
+  /* double load/store: implied by the %aux example in Figure 3 */
+  %instr ld.d d, r, #const16 (double) {$1 = m[$2 + $3];}
+         [IF; ID; IE; IA; IA; IW;] (1,4,0)
+  %instr st.d d, r, #const16 {m[$2 + $3] = $1;} [IF; ID; IE; IA; IA; IW;] (1,1,0)
+
+  /* single reg move, referenced by movd */
+  %move [s.movs] add r, r, r[0] (int) {$1 = $2;} [IF; ID; IE; IA; IW;] (1,1,0)
+  /* func escape: double reg move (2 instrs) */
+  %move *movd d, d {$1 = $2;} [] (0,0,0)
+
+  /* auxiliary latency for instruction pair */
+  %aux fadd.d : st.d (1.$1 == 2.$1) (7)
+  /* glue transformation for compare */
+  %glue r, r {($1 == $2) ==> (($1 :: $2) == 0);}
+}
+|}
+
+let extensions =
+  {|
+declare {
+  %def uimm16 [0:65535];
+  %def addr32 [-2147483648:2147483647] +abs;
+  %label labs [0:67108863];       /* absolute call target */
+}
+cwvm {
+  /* extension: a second double argument register. Note the paper's
+     constraint stands: "Either two integer parameters or one double
+     float parameter may be passed in registers" — every integer argument
+     register is half of d1, so double and integer arguments cannot mix
+     on TOYP. */
+  %arg (double) d[2] 2;
+}
+instr {
+  /* double compares first: their ((a rel b) != 0) shape must win over the
+     integer != rule below (ordered first-match, paper 2.1) */
+  %glue d, d {(($1 <  $2) != 0) ==> (($1 :: $2) <  0);}
+  %glue d, d {(($1 <= $2) != 0) ==> (($1 :: $2) <= 0);}
+  %glue d, d {(($1 >  $2) != 0) ==> (($1 :: $2) >  0);}
+  %glue d, d {(($1 >= $2) != 0) ==> (($1 :: $2) >= 0);}
+  %glue d, d {(($1 == $2) != 0) ==> (($1 :: $2) == 0);}
+  %glue d, d {(($1 != $2) != 0) ==> (($1 :: $2) != 0);}
+
+  /* remaining compare-and-branch glue: everything goes through cmp */
+  %glue r, r {($1 != $2) ==> (($1 :: $2) != 0);}
+  %glue r, r {($1 <  $2) ==> (($1 :: $2) <  0);}
+  %glue r, r {($1 <= $2) ==> (($1 :: $2) <= 0);}
+  %glue r, r {($1 >  $2) ==> (($1 :: $2) >  0);}
+  %glue r, r {($1 >= $2) ==> (($1 :: $2) >= 0);}
+
+  %instr bne0 r, #rlab {if ($1 != 0) goto $2;} [IF; ID; IE;] (1,2,1)
+  %instr blt0 r, #rlab {if ($1 < 0) goto $2;} [IF; ID; IE;] (1,2,1)
+  %instr ble0 r, #rlab {if ($1 <= 0) goto $2;} [IF; ID; IE;] (1,2,1)
+  %instr bgt0 r, #rlab {if ($1 > 0) goto $2;} [IF; ID; IE;] (1,2,1)
+  %instr bge0 r, #rlab {if ($1 >= 0) goto $2;} [IF; ID; IE;] (1,2,1)
+  %instr jmp #rlab {goto $1;} [IF; ID; IE;] (1,2,1)
+
+  %instr sub r, r, r (int) {$1 = $2 - $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr add r, r, #const16 (int) {$1 = $2 + $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr sub r, r, #const16 (int) {$1 = $2 - $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr mul r, r, r (int) {$1 = $2 * $3;} [IF; ID; IE; IE; IE; IA; IW;] (1,3,0)
+  %instr div r, r, r (int) {$1 = $2 / $3;}
+         [IF; ID; IE; IE; IE; IE; IE; IE; IE; IE; IA; IW;] (1,8,0)
+  %instr rem r, r, r (int) {$1 = $2 % $3;}
+         [IF; ID; IE; IE; IE; IE; IE; IE; IE; IE; IA; IW;] (1,8,0)
+  %instr and r, r, r (int) {$1 = $2 & $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr or r, r, r (int) {$1 = $2 | $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr or r, r, #uimm16 (int) {$1 = $2 | $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr xor r, r, r (int) {$1 = $2 ^ $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  /* immediate forms first: ordered patterns prefer the cheap encoding
+     (lui before the shifts so split constants use one instruction) */
+  %instr lui r, #uimm16 (int) {$1 = $2 << 16;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr sll r, r, #const16 (int) {$1 = $2 << $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr sll r, r, r (int) {$1 = $2 << $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr sra r, r, #const16 (int) {$1 = $2 >> $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr sra r, r, r (int) {$1 = $2 >> $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr neg r, r (int) {$1 = -$2;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr not r, r (int) {$1 = ~$2;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr slt r, r, r (int) {$1 = $2 < $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr sle r, r, r (int) {$1 = $2 <= $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr seq r, r, r (int) {$1 = $2 == $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+  %instr sne r, r, r (int) {$1 = $2 != $3;} [IF; ID; IE; IA; IW;] (1,1,0)
+
+  %instr la r, #addr32 (int) {$1 = $2;} [IF; ID; IE; IA; IW;] (1,1,0)
+
+  %instr ld.b r, r, #const16 (char) {$1 = m[$2 + $3];} [IF; ID; IE; IA; IW;] (1,3,0)
+  %instr st.b r, r, #const16 {m[$2 + $3] = char($1);} [IF; ID; IE; IA; IW;] (1,1,0)
+
+  %instr fsub.d d, d, d (double) {$1 = $2 - $3;}
+         [IF; ID; F1,ID; F1; F2; F3; F4; F5; IW,F5;] (1,6,0)
+  %instr fmul.d d, d, d (double) {$1 = $2 * $3;}
+         [IF; ID; F1,ID; F1; F2; F2; F3; F4; F5; IW,F5;] (1,7,0)
+  %instr fdiv.d d, d, d (double) {$1 = $2 / $3;}
+         [IF; ID; F1; F1; F1; F1; F1; F1; F1; F1; F1; F1; F2; F3; F4; F5; IW,F5;] (1,14,0)
+  %instr fneg.d d, d (double) {$1 = -$2;} [IF; ID; F1; F2; F3; F4; F5; IW,F5;] (1,6,0)
+  %instr cmp.d r, d, d (int) {$1 = $2 :: $3;}
+         [IF; ID; F1; F2; F3; F4; F5; IW,F5;] (1,6,0)
+
+  %instr cvt.i.d d, r (double) {$1 = double($2);}
+         [IF; ID; F1; F2; F3; IW;] (1,3,0)
+  %instr cvt.d.i r, d (int) {$1 = int($2);} [IF; ID; F1; F2; F3; IW;] (1,3,0)
+  /* zero cost dummy conversions (paper 3.3: "zero cost dummy
+     instructions, which are useful for some type conversions") */
+  %instr cvt.c.i r, r (int) {$1 = int($2);} [] (0,0,0)
+  %instr cvt.i.c r, r (char) {$1 = char($2);} [] (0,0,0)
+  %instr cvt.s.i r, r (int) {$1 = int($2);} [] (0,0,0)
+  %instr cvt.i.s r, r (short) {$1 = short($2);} [] (0,0,0)
+
+  %instr jal #labs {call $1;} [IF; ID; IE;] (1,2,1)
+  %instr jr r {goto $1;} [IF; ID; IE;] (1,2,1)
+  %instr nop {nop;} [IF; ID;] (1,1,0)
+}
+|}
+
+let figure_description = figure_declare ^ figure_cwvm ^ figure_instr
+
+let description = figure_description ^ extensions
+
+let name = "toyp"
+
+(* The *movd func escape (paper 3.4): a move between d registers maps into
+   two moves between the overlapping r registers, generated through the
+   tagged single move [s.movs]. *)
+let register_funcs (model : Model.t) =
+  Funcs.register model ~name:"movd" (fun fn ops ->
+      let movs =
+        match Model.instr_by_tag model "s.movs" with
+        | Some i -> i
+        | None -> Loc.fail Loc.dummy "toyp: missing [s.movs] tagged move"
+      in
+      let r0 =
+        match Model.find_class model "r" with
+        | Some c -> Mir.Ophys { Model.cls = c.Model.c_id; idx = 0 }
+        | None -> Loc.fail Loc.dummy "toyp: missing r register set"
+      in
+      match ops with
+      | [| dst; src |] ->
+          [
+            Mir.mk_inst fn movs
+              [| Mir.Opart (dst, 0); Mir.Opart (src, 0); r0 |];
+            Mir.mk_inst fn movs
+              [| Mir.Opart (dst, 1); Mir.Opart (src, 1); r0 |];
+          ]
+      | _ -> Loc.fail Loc.dummy "movd expects two operands")
+
+let load () =
+  let model = Builder.load ~name ~file:"<toyp.maril>" description in
+  register_funcs model;
+  model

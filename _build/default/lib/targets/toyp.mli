@@ -1,0 +1,27 @@
+(** TOYP, the toy processor of the paper's section 3 (Figures 1-3): five
+    operations, a 5-stage instruction pipeline, a 5-stage floating point
+    add pipeline, eight 32-bit registers overlaid by four 64-bit double
+    registers, one %aux latency, one glue transformation and the *movd
+    func escape.
+
+    Note the paper's argument convention holds: either two integer
+    parameters or one double parameter (we add a second double) — integer
+    and double arguments cannot mix, because the integer argument
+    registers are the halves of d1. *)
+
+val name : string
+
+val figure_description : string
+(** Exactly the description of Figures 1-3 (plus the double load/store the
+    figure's %aux references). *)
+
+val description : string
+(** [figure_description] plus documented extensions (full ALU, branches,
+    calls, conversions) so real programs compile and run. *)
+
+val register_funcs : Model.t -> unit
+(** Register the *movd escape: a double move becomes two single moves of
+    the register halves through the [s.movs]-tagged instruction. *)
+
+val load : unit -> Model.t
+(** Parse, build, and register escapes. *)

@@ -1,0 +1,1 @@
+lib/util/arith32.ml:

@@ -1,0 +1,1 @@
+lib/util/reader.ml: Buffer Loc String

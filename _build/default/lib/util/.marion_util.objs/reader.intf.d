@@ -1,0 +1,1 @@
+lib/util/reader.mli: Loc

@@ -1,0 +1,5 @@
+let mask32 v = v land 0xFFFFFFFF
+
+let sext32 v =
+  let v = mask32 v in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v

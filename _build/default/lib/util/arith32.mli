@@ -1,0 +1,8 @@
+(** 32-bit two's-complement helpers shared by the IL constant folder and
+    the simulator. *)
+
+val mask32 : int -> int
+(** Low 32 bits. *)
+
+val sext32 : int -> int
+(** Sign-extend the low 32 bits. *)

@@ -1,0 +1,82 @@
+type t = { cap : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let words_for cap = (cap + bits_per_word - 1) / bits_per_word
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create";
+  { cap; words = Array.make (max 1 (words_for cap)) 0 }
+
+let capacity t = t.cap
+
+let copy t = { cap = t.cap; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.cap then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of range [0,%d)" i t.cap)
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let unset t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let same_cap a b =
+  if a.cap <> b.cap then invalid_arg "Bitset: capacity mismatch"
+
+let union_into ~dst src =
+  same_cap dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let inter_empty a b =
+  same_cap a b;
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) land b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let equal a b = a.cap = b.cap && Array.for_all2 ( = ) a.words b.words
+
+let popcount w =
+  let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+  go 0 w
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for i = 0 to t.cap - 1 do
+    if mem t i then f i
+  done
+
+let of_list cap l =
+  let t = create cap in
+  List.iter (set t) l;
+  t
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (to_list t)

@@ -1,0 +1,43 @@
+(** Fixed-capacity bit sets.
+
+    Resource vectors (one element per machine resource, one vector entry per
+    cycle) are the scheduler's primary hazard-detection structure, so these
+    sets are mutable and allocation-light. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set able to hold elements [0 .. n-1]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val set : t -> int -> unit
+
+val unset : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every element of [src] to [dst]. Capacities
+    must agree. *)
+
+val inter_empty : t -> t -> bool
+(** [inter_empty a b] is [true] iff [a] and [b] share no element. *)
+
+val equal : t -> t -> bool
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+
+val of_list : int -> int list -> t
+
+val to_list : t -> int list
+
+val pp : Format.formatter -> t -> unit

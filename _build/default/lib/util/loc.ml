@@ -1,0 +1,18 @@
+type t = { file : string; line : int; col : int }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp ppf { file; line; col } = Format.fprintf ppf "%s:%d:%d" file line col
+
+exception Error of t * string
+
+let fail loc fmt = Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt
+
+let error_to_string loc msg = Format.asprintf "%a: %s" pp loc msg
+
+let () =
+  Printexc.register_printer (function
+    | Error (loc, msg) -> Some (error_to_string loc msg)
+    | _ -> None)

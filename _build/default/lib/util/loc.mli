@@ -1,0 +1,19 @@
+(** Source locations and located errors, shared by the Maril and C
+    front ends. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+
+val make : file:string -> line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+exception Error of t * string
+(** Raised for every user-facing front-end error (lexing, parsing, semantic
+    analysis, description validation). *)
+
+val fail : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail loc fmt ...] raises {!Error} with a formatted message. *)
+
+val error_to_string : t -> string -> string

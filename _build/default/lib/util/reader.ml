@@ -1,0 +1,53 @@
+type t = {
+  file : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make ~file src = { file; src; pos = 0; line = 1; col = 1 }
+
+let loc t = Loc.make ~file:t.file ~line:t.line ~col:t.col
+
+let eof t = t.pos >= String.length t.src
+
+let peek t = if eof t then None else Some t.src.[t.pos]
+
+let peek2 t =
+  if t.pos + 1 >= String.length t.src then None else Some t.src.[t.pos + 1]
+
+let advance t =
+  if not (eof t) then begin
+    (if t.src.[t.pos] = '\n' then begin
+       t.line <- t.line + 1;
+       t.col <- 1
+     end
+     else t.col <- t.col + 1);
+    t.pos <- t.pos + 1
+  end
+
+let next t =
+  let c = peek t in
+  advance t;
+  c
+
+let skip_while t p =
+  let continue = ref true in
+  while !continue do
+    match peek t with
+    | Some c when p c -> advance t
+    | Some _ | None -> continue := false
+  done
+
+let take_while t p =
+  let buf = Buffer.create 16 in
+  let continue = ref true in
+  while !continue do
+    match peek t with
+    | Some c when p c ->
+        Buffer.add_char buf c;
+        advance t
+    | Some _ | None -> continue := false
+  done;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** A character cursor over an in-memory source string with position
+    tracking. Both hand-written lexers (Maril and mini-C) are built on it. *)
+
+type t
+
+val make : file:string -> string -> t
+
+val loc : t -> Loc.t
+
+val eof : t -> bool
+
+val peek : t -> char option
+
+val peek2 : t -> char option
+(** The character after {!peek}, if any. *)
+
+val advance : t -> unit
+(** Consume one character, updating line/column. No-op at end of input. *)
+
+val next : t -> char option
+(** [peek] then [advance]. *)
+
+val skip_while : t -> (char -> bool) -> unit
+
+val take_while : t -> (char -> bool) -> string

@@ -1,0 +1,458 @@
+(* The first fourteen Livermore Loops (Livermore Fortran Kernels),
+   transcribed into the mini-C subset, with deterministic initialisation
+   and a printed checksum so compiled runs can be verified against the
+   reference interpreter. Table 4 of the paper evaluates exactly these
+   kernels.
+
+   Kernels 13 and 14 (particle-in-cell) are close transcriptions rather
+   than line-by-line ports: the control structure, the int/double mix and
+   the gather/scatter memory behaviour are preserved, but the physics
+   constants are simplified. *)
+
+type kernel = {
+  k_id : int;
+  k_name : string;
+  k_source : int -> string;  (* parameterized by repetition count *)
+}
+
+let k1 iter =
+  Printf.sprintf
+    {|
+double x[1012]; double y[1012]; double z[1012];
+int main(void) {
+  int k; int l;
+  double q = 0.5; double r = 2.0; double t = 0.01; double s = 0.0;
+  for (k = 0; k < 1012; k++) {
+    y[k] = (double)(k %% 10) * 0.1;
+    z[k] = (double)(k %% 7) * 0.2;
+  }
+  for (l = 0; l < %d; l++) {
+    for (k = 0; k < 990; k++)
+      x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+  }
+  for (k = 0; k < 990; k++) s = s + x[k];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k2 iter =
+  Printf.sprintf
+    {|
+double x[1024]; double v[1024];
+int main(void) {
+  int ipntp; int ipnt; int ii; int i; int k; int l; double s = 0.0;
+  for (l = 0; l < %d; l++) {
+    for (i = 0; i < 1024; i++) {
+      x[i] = (double)(i %% 8) * 0.3 + 0.1;
+      v[i] = (double)(i %% 5) * 0.2 + 0.2;
+    }
+    ii = 500;
+    ipntp = 0;
+    do {
+      ipnt = ipntp;
+      ipntp = ipntp + ii;
+      ii = ii / 2;
+      i = ipntp - 1;
+      for (k = ipnt + 1; k < ipntp; k = k + 2) {
+        i++;
+        x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+      }
+    } while (ii > 0);
+  }
+  for (i = 0; i < 1024; i++) s = s + x[i];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k3 iter =
+  Printf.sprintf
+    {|
+double x[1001]; double z[1001];
+int main(void) {
+  int k; int l; double q = 0.0;
+  for (k = 0; k < 1001; k++) {
+    x[k] = (double)(k %% 9) * 0.25;
+    z[k] = (double)(k %% 5) * 0.5;
+  }
+  for (l = 0; l < %d; l++) {
+    q = 0.0;
+    for (k = 0; k < 1001; k++) q = q + z[k] * x[k];
+  }
+  print_double(q);
+  return 0;
+}
+|}
+    iter
+
+let k4 iter =
+  Printf.sprintf
+    {|
+double x[1001]; double y[1001];
+int main(void) {
+  int j; int k; int l; int lw; int m; double t; double s = 0.0;
+  for (k = 0; k < 1001; k++) {
+    x[k] = (double)(k %% 11) * 0.125 + 0.25;
+    y[k] = (double)(k %% 13) * 0.25 + 0.5;
+  }
+  m = (1001 - 7) / 2;
+  for (l = 0; l < %d; l++) {
+    for (k = 6; k < 1001; k = k + m) {
+      lw = k - 6;
+      t = x[k - 1];
+      for (j = 4; j < 1001; j = j + 5) {
+        t = t - x[lw] * y[j];
+        lw++;
+      }
+      x[k - 1] = y[4] * t;
+    }
+  }
+  for (k = 0; k < 1001; k++) s = s + x[k];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k5 iter =
+  Printf.sprintf
+    {|
+double x[1001]; double y[1001]; double z[1001];
+int main(void) {
+  int i; int l; double s = 0.0;
+  for (i = 0; i < 1001; i++) {
+    y[i] = (double)(i %% 6) * 0.1 + 0.2;
+    z[i] = (double)(i %% 4) * 0.3 + 0.1;
+  }
+  x[0] = 1.0;
+  for (l = 0; l < %d; l++) {
+    for (i = 1; i < 1001; i++)
+      x[i] = z[i] * (y[i] - x[i - 1]);
+  }
+  for (i = 0; i < 1001; i++) s = s + x[i];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k6 iter =
+  Printf.sprintf
+    {|
+double w[64]; double b[64][64];
+int main(void) {
+  int i; int k; int l; double s = 0.0;
+  for (i = 0; i < 64; i++)
+    for (k = 0; k < 64; k++)
+      b[i][k] = (double)((i + k) %% 7) * 0.03;
+  for (l = 0; l < %d; l++) {
+    w[0] = 0.0100;
+    for (i = 1; i < 64; i++) {
+      w[i] = 0.0100;
+      for (k = 0; k < i; k++)
+        w[i] = w[i] + b[k][i] * w[(i - k) - 1];
+    }
+  }
+  for (i = 0; i < 64; i++) s = s + w[i];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k7 iter =
+  Printf.sprintf
+    {|
+double x[1001]; double y[1001]; double z[1001]; double u[1007];
+int main(void) {
+  int k; int l; double s = 0.0;
+  double r = 0.5; double t = 0.02; double q = 0.25;
+  for (k = 0; k < 1007; k++) u[k] = (double)(k %% 9) * 0.07 + 0.1;
+  for (k = 0; k < 1001; k++) {
+    y[k] = (double)(k %% 5) * 0.2 + 0.1;
+    z[k] = (double)(k %% 3) * 0.3 + 0.2;
+  }
+  for (l = 0; l < %d; l++) {
+    for (k = 0; k < 995; k++) {
+      x[k] = u[k] + r * (z[k] + r * y[k])
+           + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+    }
+  }
+  for (k = 0; k < 995; k++) s = s + x[k];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k8 iter =
+  Printf.sprintf
+    {|
+double u1[2][101][5]; double u2[2][101][5]; double u3[2][101][5];
+double du1[101]; double du2[101]; double du3[101];
+int main(void) {
+  int kx; int ky; int l; int nl1; int nl2; int i; int j; int k;
+  double a11 = 1.0; double a12 = 0.5; double a13 = 0.33;
+  double a21 = 0.25; double a22 = 0.2; double a23 = 0.16;
+  double a31 = 0.14; double a32 = 0.125; double a33 = 0.11;
+  double sig = 0.5; double del = 0.02; double s = 0.0;
+  for (i = 0; i < 2; i++)
+    for (j = 0; j < 101; j++)
+      for (k = 0; k < 5; k++) {
+        u1[i][j][k] = (double)((i + j + k) %% 5) * 0.1 + 0.1;
+        u2[i][j][k] = (double)((i + j + k) %% 7) * 0.07 + 0.1;
+        u3[i][j][k] = (double)((i + j + k) %% 3) * 0.21 + 0.1;
+      }
+  for (l = 0; l < %d; l++) {
+    nl1 = 0;
+    nl2 = 1;
+    for (kx = 1; kx < 2; kx++) {
+      for (ky = 1; ky < 100; ky++) {
+        du1[ky] = u1[nl1][ky + 1][kx] - u1[nl1][ky - 1][kx];
+        du2[ky] = u2[nl1][ky + 1][kx] - u2[nl1][ky - 1][kx];
+        du3[ky] = u3[nl1][ky + 1][kx] - u3[nl1][ky - 1][kx];
+        u1[nl2][ky][kx] = u1[nl1][ky][kx]
+          + a11 * du1[ky] + a12 * du2[ky] + a13 * du3[ky]
+          + sig * (u1[nl1][ky][kx + 1] - 2.0 * u1[nl1][ky][kx]
+                 + u1[nl1][ky][kx - 1]);
+        u2[nl2][ky][kx] = u2[nl1][ky][kx]
+          + a21 * du1[ky] + a22 * du2[ky] + a23 * du3[ky]
+          + sig * (u2[nl1][ky][kx + 1] - 2.0 * u2[nl1][ky][kx]
+                 + u2[nl1][ky][kx - 1]);
+        u3[nl2][ky][kx] = u3[nl1][ky][kx]
+          + a31 * du1[ky] + a32 * du2[ky] + a33 * du3[ky]
+          + del * (u3[nl1][ky][kx + 1] - 2.0 * u3[nl1][ky][kx]
+                 + u3[nl1][ky][kx - 1]);
+      }
+    }
+  }
+  for (j = 0; j < 101; j++)
+    for (k = 0; k < 5; k++) s = s + u1[1][j][k] + u2[1][j][k] + u3[1][j][k];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k9 iter =
+  Printf.sprintf
+    {|
+double px[101][13];
+int main(void) {
+  int i; int j; int l; double s = 0.0;
+  double dm22 = 0.2; double dm23 = 0.3; double dm24 = 0.4; double dm25 = 0.5;
+  double dm26 = 0.6; double dm27 = 0.7; double dm28 = 0.8; double c0 = 1.1;
+  for (i = 0; i < 101; i++)
+    for (j = 0; j < 13; j++)
+      px[i][j] = (double)((i + j) %% 8) * 0.05 + 0.1;
+  for (l = 0; l < %d; l++) {
+    for (i = 0; i < 101; i++) {
+      px[i][0] = dm28 * px[i][12] + dm27 * px[i][11] + dm26 * px[i][10]
+        + dm25 * px[i][9] + dm24 * px[i][8] + dm23 * px[i][7]
+        + dm22 * px[i][6]
+        + c0 * (px[i][4] + px[i][5]) + px[i][2];
+    }
+  }
+  for (i = 0; i < 101; i++) s = s + px[i][0];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k10 iter =
+  Printf.sprintf
+    {|
+double px[101][14]; double cx[101][14];
+int main(void) {
+  int i; int l; double s = 0.0;
+  double ar; double br; double cr;
+  for (i = 0; i < 101; i++) {
+    int j;
+    for (j = 0; j < 14; j++) {
+      px[i][j] = (double)((i + j) %% 6) * 0.08 + 0.1;
+      cx[i][j] = (double)((i + 2 * j) %% 9) * 0.05 + 0.2;
+    }
+  }
+  for (l = 0; l < %d; l++) {
+    for (i = 0; i < 101; i++) {
+      ar = cx[i][4];
+      br = ar - px[i][4];
+      px[i][4] = ar;
+      cr = br - px[i][5];
+      px[i][5] = br;
+      ar = cr - px[i][6];
+      px[i][6] = cr;
+      br = ar - px[i][7];
+      px[i][7] = ar;
+      cr = br - px[i][8];
+      px[i][8] = br;
+      ar = cr - px[i][9];
+      px[i][9] = cr;
+      br = ar - px[i][10];
+      px[i][10] = ar;
+      cr = br - px[i][11];
+      px[i][11] = br;
+      px[i][13] = cr - px[i][12];
+      px[i][12] = cr;
+    }
+  }
+  for (i = 0; i < 101; i++) s = s + px[i][13];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k11 iter =
+  Printf.sprintf
+    {|
+double x[1001]; double y[1001];
+int main(void) {
+  int k; int l; double s = 0.0;
+  for (k = 0; k < 1001; k++) y[k] = (double)(k %% 10) * 0.05 + 0.01;
+  for (l = 0; l < %d; l++) {
+    x[0] = y[0];
+    for (k = 1; k < 1001; k++) x[k] = x[k - 1] + y[k];
+  }
+  for (k = 0; k < 1001; k++) s = s + x[k];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k12 iter =
+  Printf.sprintf
+    {|
+double x[1002]; double y[1002];
+int main(void) {
+  int k; int l; double s = 0.0;
+  for (k = 0; k < 1002; k++) y[k] = (double)(k %% 12) * 0.07 + 0.02;
+  for (l = 0; l < %d; l++) {
+    for (k = 0; k < 1000; k++) x[k] = y[k + 1] - y[k];
+  }
+  for (k = 0; k < 1000; k++) s = s + x[k];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k13 iter =
+  Printf.sprintf
+    {|
+double p[64][4]; double b[8][8]; double c[8][8]; double y[64]; double z[64];
+double h[8][8];
+int main(void) {
+  int ip; int i1; int j1; int i2; int j2; int l; int i; int j;
+  double s = 0.0;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++) {
+      b[i][j] = (double)((i + j) %% 5) * 0.25 + 0.5;
+      c[i][j] = (double)((i * j) %% 7) * 0.125 + 0.25;
+      h[i][j] = 0.0;
+    }
+  for (ip = 0; ip < 64; ip++) {
+    p[ip][0] = (double)(ip %% 8) + 0.25;
+    p[ip][1] = (double)((ip * 3) %% 8) + 0.5;
+    p[ip][2] = (double)(ip %% 4) * 0.5;
+    p[ip][3] = (double)(ip %% 3) * 0.25;
+    y[ip] = 0.0;
+    z[ip] = 0.0;
+  }
+  for (l = 0; l < %d; l++) {
+    for (ip = 0; ip < 64; ip++) {
+      i1 = (int)p[ip][0];
+      j1 = (int)p[ip][1];
+      i1 = i1 & 7;
+      j1 = j1 & 7;
+      p[ip][2] = p[ip][2] + b[i1][j1];
+      p[ip][3] = p[ip][3] + c[i1][j1];
+      p[ip][0] = p[ip][0] + p[ip][2];
+      p[ip][1] = p[ip][1] + p[ip][3];
+      i2 = (int)p[ip][0];
+      j2 = (int)p[ip][1];
+      i2 = i2 & 7;
+      j2 = j2 & 7;
+      p[ip][0] = p[ip][0] + y[i2 + 8];
+      p[ip][1] = p[ip][1] + z[j2 + 8];
+      i2 = i2 + 1;
+      j2 = j2 + 1;
+      h[i2 - 1][j2 - 1] = h[i2 - 1][j2 - 1] + 1.0;
+    }
+  }
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++) s = s + h[i][j];
+  for (ip = 0; ip < 64; ip++) s = s + p[ip][0] + p[ip][1];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let k14 iter =
+  Printf.sprintf
+    {|
+double vx[1001]; double xx[1001]; double xi[1001];
+double ex[200]; double dex[200]; double rh[201];
+int ir[1001];
+int main(void) {
+  int k; int l; int i; double s = 0.0;
+  double flx = 0.001;
+  for (k = 0; k < 200; k++) {
+    ex[k] = (double)(k %% 10) * 0.01 + 0.005;
+    dex[k] = (double)(k %% 6) * 0.002 + 0.001;
+  }
+  for (k = 0; k < 1001; k++) {
+    vx[k] = 0.0;
+    xx[k] = (double)(k %% 190) + 0.5;
+  }
+  for (l = 0; l < %d; l++) {
+    for (k = 0; k < 201; k++) rh[k] = 0.0;
+    for (k = 0; k < 1001; k++) {
+      ir[k] = (int)xx[k];
+      xi[k] = (double)ir[k];
+      vx[k] = vx[k] + ex[ir[k] %% 200] + (xx[k] - xi[k]) * dex[ir[k] %% 200];
+      xx[k] = xx[k] + vx[k] + flx;
+      if (xx[k] < 0.0) xx[k] = xx[k] + 190.0;
+      if (xx[k] >= 190.0) xx[k] = xx[k] - 190.0;
+      ir[k] = (int)xx[k];
+      xi[k] = (double)ir[k];
+      rh[ir[k] %% 200] = rh[ir[k] %% 200] + (xi[k] + 1.0 - xx[k]);
+      rh[(ir[k] %% 200) + 1] = rh[(ir[k] %% 200) + 1] + (xx[k] - xi[k]);
+    }
+  }
+  for (i = 0; i < 201; i++) s = s + rh[i];
+  for (k = 0; k < 1001; k++) s = s + vx[k];
+  print_double(s);
+  return 0;
+}
+|}
+    iter
+
+let kernels =
+  [
+    { k_id = 1; k_name = "hydro fragment"; k_source = k1 };
+    { k_id = 2; k_name = "ICCG excerpt"; k_source = k2 };
+    { k_id = 3; k_name = "inner product"; k_source = k3 };
+    { k_id = 4; k_name = "banded linear equations"; k_source = k4 };
+    { k_id = 5; k_name = "tri-diagonal elimination"; k_source = k5 };
+    { k_id = 6; k_name = "linear recurrence relations"; k_source = k6 };
+    { k_id = 7; k_name = "equation of state"; k_source = k7 };
+    { k_id = 8; k_name = "ADI integration"; k_source = k8 };
+    { k_id = 9; k_name = "integrate predictors"; k_source = k9 };
+    { k_id = 10; k_name = "difference predictors"; k_source = k10 };
+    { k_id = 11; k_name = "first sum"; k_source = k11 };
+    { k_id = 12; k_name = "first difference"; k_source = k12 };
+    { k_id = 13; k_name = "2-D particle in cell"; k_source = k13 };
+    { k_id = 14; k_name = "1-D particle in cell"; k_source = k14 };
+  ]
+
+let find id = List.find (fun k -> k.k_id = id) kernels
+
+let source ?(iter = 1) id = (find id).k_source iter

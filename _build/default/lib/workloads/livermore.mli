@@ -1,0 +1,20 @@
+(** The first fourteen Livermore Loops in the mini-C subset — the paper's
+    Table 4 workload. Each kernel initialises its data deterministically
+    and prints a checksum, so compiled runs can be verified against the
+    reference interpreter. Kernels 13 and 14 are close transcriptions (see
+    the implementation comment). *)
+
+type kernel = {
+  k_id : int;  (** 1-14 *)
+  k_name : string;  (** the traditional kernel name *)
+  k_source : int -> string;  (** C source, parameterized by repetitions *)
+}
+
+val kernels : kernel list
+
+val find : int -> kernel
+(** Raises [Not_found] for ids outside 1-14. *)
+
+val source : ?iter:int -> int -> string
+(** [source ~iter id] is kernel [id]'s source with [iter] repetitions
+    (default 1). *)

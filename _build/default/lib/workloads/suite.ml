@@ -1,0 +1,132 @@
+(* The compile-time / dilation program suite (Table 3 substitute).
+
+   The paper timed its back ends on the NAS kernel benchmark, SPHOT,
+   ARC2D and the Lcc front end — none of which are available — so this
+   suite substitutes a mixed integer/floating-point workload of similar
+   character: dense FP loop kernels, integer array and recursion work,
+   and byte-string processing. *)
+
+let matmul =
+  {|
+double a[40][40]; double b[40][40]; double c[40][40];
+int main(void) {
+  int i; int j; int k; double s;
+  for (i = 0; i < 40; i++)
+    for (j = 0; j < 40; j++) {
+      a[i][j] = (double)((i + j) % 7) * 0.25;
+      b[i][j] = (double)((i * j + 3) % 5) * 0.5;
+    }
+  for (i = 0; i < 40; i++)
+    for (j = 0; j < 40; j++) {
+      s = 0.0;
+      for (k = 0; k < 40; k++) s = s + a[i][k] * b[k][j];
+      c[i][j] = s;
+    }
+  s = 0.0;
+  for (i = 0; i < 40; i++) s = s + c[i][i];
+  print_double(s);
+  return 0;
+}
+|}
+
+let sieve =
+  {|
+int flags[2000];
+int main(void) {
+  int i; int j; int count = 0;
+  for (i = 0; i < 2000; i++) flags[i] = 1;
+  for (i = 2; i < 2000; i++) {
+    if (flags[i]) {
+      count++;
+      for (j = i + i; j < 2000; j += i) flags[j] = 0;
+    }
+  }
+  print_int(count);
+  return 0;
+}
+|}
+
+let sort =
+  {|
+int a[300];
+int main(void) {
+  int i; int j; int t; int n = 300;
+  for (i = 0; i < n; i++) a[i] = (i * 37 + 11) % 301;
+  for (i = 0; i < n - 1; i++)
+    for (j = 0; j < n - 1 - i; j++)
+      if (a[j] > a[j + 1]) { t = a[j]; a[j] = a[j + 1]; a[j + 1] = t; }
+  print_int(a[0]);
+  print_int(a[150]);
+  print_int(a[299]);
+  return 0;
+}
+|}
+
+let strings =
+  {|
+char buf[1024]; char rev[1024];
+int main(void) {
+  int i; int n = 1000; int vowels = 0;
+  for (i = 0; i < n; i++) buf[i] = 'a' + (char)(i % 26);
+  for (i = 0; i < n; i++) rev[i] = buf[n - 1 - i];
+  for (i = 0; i < n; i++) {
+    char ch = rev[i];
+    if (ch == 'a' || ch == 'e' || ch == 'i' || ch == 'o' || ch == 'u')
+      vowels++;
+  }
+  print_int(vowels);
+  print_char(rev[0]);
+  print_char(buf[0]);
+  print_char('\n');
+  return 0;
+}
+|}
+
+let recursion =
+  {|
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int gcd(int a, int b) {
+  if (b == 0) return a;
+  return gcd(b, a % b);
+}
+int main(void) {
+  print_int(fib(15));
+  print_int(gcd(123456, 7896));
+  return 0;
+}
+|}
+
+let poly =
+  {|
+double px[512];
+double horner(double x) {
+  double acc = 0.7;
+  int i;
+  for (i = 0; i < 12; i++) acc = acc * x + 0.3;
+  return acc;
+}
+int main(void) {
+  int i; double s = 0.0;
+  for (i = 0; i < 512; i++) px[i] = horner((double)(i % 17) * 0.125);
+  for (i = 0; i < 512; i++) s = s + px[i];
+  print_double(s);
+  return 0;
+}
+|}
+
+(* name, source; Livermore kernels 1, 5 and 7 join as the FP-heavy part *)
+let programs =
+  [
+    ("matmul", matmul);
+    ("sieve", sieve);
+    ("sort", sort);
+    ("strings", strings);
+    ("recursion", recursion);
+    ("poly", poly);
+    ("lfk1", Livermore.source ~iter:1 1);
+    ("lfk5", Livermore.source ~iter:1 5);
+    ("lfk7", Livermore.source ~iter:1 7);
+  ]

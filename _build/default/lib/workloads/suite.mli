@@ -1,0 +1,7 @@
+(** The compile-time / dilation program suite standing in for the paper's
+    Nasker / SPHOT / ARC2D / Lcc workload (Table 3): dense FP kernels,
+    integer array and recursion work, and byte-string processing. *)
+
+val programs : (string * string) list
+(** Program name and mini-C source, each with a [main] that prints
+    verifiable output. *)

@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Array Bytes Cgen Cinterp Cparse Int64 Ir List Loc Printf String

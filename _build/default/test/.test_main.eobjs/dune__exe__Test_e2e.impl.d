@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Cinterp I860 Lazy List Livermore M88000 Marion Model Printf R2000 Sim Strategy Suite Toyp

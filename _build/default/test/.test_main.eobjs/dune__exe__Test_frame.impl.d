@@ -1,0 +1,1 @@
+test/test_frame.ml: Alcotest Array Lazy List Marion Mir Model Strategy Toyp

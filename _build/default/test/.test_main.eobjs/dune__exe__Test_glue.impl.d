@@ -1,0 +1,1 @@
+test/test_glue.ml: Alcotest Builder Format Glue Ir Lazy List R2000 Toyp

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cfront Test_e2e Test_frame Test_glue Test_maril Test_props Test_regalloc Test_sched Test_select Test_sim Test_strategy Test_targets

@@ -1,0 +1,1 @@
+test/test_maril.ml: Alcotest Array Ast Builder Format Funcs I860 Lazy Lexer List Loc M88000 Model Option Parser Printer R2000 String Token Toyp

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Ast Bitset Buffer Cgen Cinterp Dag Format Hashtbl Ir Lazy List Listsched Marion Mir Model Option Parser Printf QCheck2 QCheck_alcotest R2000 Seq Sim Strategy Toyp

@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Cgen Cinterp Delay Frame Hashtbl Lazy List Liveness Mir Model Regalloc Select Sim Toyp

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Cgen Cinterp Dag Ghfill Hashtbl I860 Lazy List Listsched Livermore Marion Mir Model Option Regalloc Select Sim Strategy Toyp

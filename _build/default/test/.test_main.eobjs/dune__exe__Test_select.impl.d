@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Array Builder Cgen I860 Lazy List Mir Model Option Printf R2000 Select Toyp

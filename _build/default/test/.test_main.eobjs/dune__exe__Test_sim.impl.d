@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Hashtbl I860 Lazy List Livermore Marion Option Printf R2000 Sim Strategy Toyp

@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Cinterp Hashtbl Lazy List Marion R2000 Sim Strategy

@@ -1,0 +1,1 @@
+test/test_targets.ml: Alcotest Array Builder Cinterp I860 List M88000 Marion Model Option Printf R2000 Sim Stats Strategy Toyp

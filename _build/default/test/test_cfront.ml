@@ -1,0 +1,299 @@
+(* Tests for the mini-C front end: lexer, parser, IL generation and the
+   reference interpreter. *)
+
+let check = Alcotest.check
+
+let run src =
+  let r = Cinterp.run_source ~file:"<test.c>" src in
+  r.Cinterp.output
+
+let retval src =
+  let r = Cinterp.run_source ~file:"<test.c>" src in
+  r.Cinterp.return_value
+
+let test_interp_arith () =
+  check Alcotest.int "arith"
+    ((3 + 4) * 5 - (17 / 3) - (17 mod 3))
+    (retval "int main(void) { return (3+4)*5 - 17/3 - 17%3; }")
+
+let test_interp_output () =
+  check Alcotest.string "print"
+    "7\n"
+    (run "int main(void) { print_int(3 + 4); return 0; }")
+
+let test_interp_loops () =
+  check Alcotest.int "sum 1..10" 55
+    (retval
+       {|int main(void) {
+           int i; int s; s = 0;
+           for (i = 1; i <= 10; i++) s += i;
+           return s;
+         }|})
+
+let test_interp_while_break () =
+  check Alcotest.int "break" 5
+    (retval
+       {|int main(void) {
+           int i = 0;
+           while (1) { if (i == 5) break; i++; }
+           return i;
+         }|})
+
+let test_interp_arrays () =
+  check Alcotest.int "array sum" (0 + 1 + 4 + 9 + 16)
+    (retval
+       {|int main(void) {
+           int a[5]; int i; int s = 0;
+           for (i = 0; i < 5; i++) a[i] = i * i;
+           for (i = 0; i < 5; i++) s += a[i];
+           return s;
+         }|})
+
+let test_interp_2d_arrays () =
+  check Alcotest.int "matrix" 100
+    (retval
+       {|double m[5][5];
+         int main(void) {
+           int i; int j; double s = 0.0;
+           for (i = 0; i < 5; i++)
+             for (j = 0; j < 5; j++)
+               m[i][j] = (double)(i * j);
+           for (i = 0; i < 5; i++)
+             for (j = 0; j < 5; j++)
+               s = s + m[i][j];
+           return (int)(s + 0.5);
+         }|})
+
+let test_interp_doubles () =
+  check Alcotest.string "double io" "3.500000\n"
+    (run "int main(void) { print_double(3.5); return 0; }")
+
+let test_interp_functions () =
+  check Alcotest.int "fib" 55
+    (retval
+       {|int fib(int n) {
+           if (n < 2) return n;
+           return fib(n - 1) + fib(n - 2);
+         }
+         int main(void) { return fib(10); }|})
+
+let test_interp_double_args () =
+  check Alcotest.string "double fn" "12.250000\n"
+    (run
+       {|double sq(double x) { return x * x; }
+         int main(void) { print_double(sq(3.5)); return 0; }|})
+
+let test_interp_pointers () =
+  check Alcotest.int "swap" 1
+    (retval
+       {|void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+         int main(void) {
+           int x = 3; int y = 7;
+           swap(&x, &y);
+           return x == 7 && y == 3;
+         }|})
+
+let test_interp_globals () =
+  check Alcotest.int "globals" 42
+    (retval
+       {|int g = 40;
+         int bump(void) { g = g + 2; return g; }
+         int main(void) { return bump(); }|})
+
+let test_interp_global_array_init () =
+  check Alcotest.int "init list" 60
+    (retval
+       {|int a[4] = {10, 20, 30};
+         int main(void) { return a[0] + a[1] + a[2] + a[3]; }|})
+
+let test_interp_char () =
+  check Alcotest.int "char wrap" 1
+    (retval
+       {|int main(void) {
+           char c = 200;      /* wraps to -56 */
+           return c == -56;
+         }|})
+
+let test_interp_shortcircuit () =
+  check Alcotest.int "shortcircuit" 1
+    (retval
+       {|int g = 0;
+         int bump(void) { g++; return 1; }
+         int main(void) {
+           int r = (0 && bump()) + (1 || bump());
+           return r == 1 && g == 0;
+         }|})
+
+let test_interp_ternary () =
+  check Alcotest.int "ternary" 21
+    (retval "int main(void) { int x = 3; return x > 2 ? 21 : 9; }")
+
+let test_interp_do_while () =
+  check Alcotest.int "do" 10
+    (retval
+       {|int main(void) {
+           int i = 0;
+           do { i += 2; } while (i < 10);
+           return i;
+         }|})
+
+let test_interp_shifts () =
+  check Alcotest.int "shifts" ((5 lsl 3) lor (64 asr 2))
+    (retval "int main(void) { return (5 << 3) | (64 >> 2); }")
+
+let test_interp_livermore_k1_like () =
+  (* shape of Livermore kernel 1: hydro fragment *)
+  let expected =
+    let z = Array.init 101 (fun _ -> 0.0) in
+    let y = Array.init 101 (fun _ -> 0.0) in
+    let x = Array.make 101 0.0 in
+    for k = 0 to 89 do
+      z.(k) <- float_of_int k *. 0.25;
+      y.(k) <- float_of_int k *. 0.5
+    done;
+    let s = ref 0.0 in
+    for k = 0 to 89 do
+      x.(k) <- 0.5 +. (y.(k) *. ((2.0 *. z.(k + 10)) +. (0.01 *. z.(k + 11))))
+    done;
+    for k = 0 to 89 do
+      s := !s +. x.(k)
+    done;
+    Printf.sprintf "%.6f\n" !s
+  in
+  check Alcotest.string "k1" expected
+    (run
+       {|double x[101]; double y[101]; double z[101];
+         int main(void) {
+           int k; double q = 0.5; double r = 2.0; double t = 0.01;
+           double s = 0.0;
+           for (k = 0; k < 90; k++) { z[k] = (double)k * 0.25; y[k] = (double)k * 0.5; }
+           for (k = 0; k < 90; k++)
+             x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+           for (k = 0; k < 90; k++) s = s + x[k];
+           print_double(s);
+           return 0;
+         }|})
+
+(* ------------------------------------------------------------------ *)
+(* IL generation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let gen src = Cgen.compile ~file:"<test.c>" src
+
+let test_cgen_blocks_are_basic () =
+  let prog = gen
+      {|int main(void) {
+          int i; int s = 0;
+          for (i = 0; i < 10; i++) if (i % 2 == 0) s += i;
+          return s;
+        }|}
+  in
+  let fn = List.hd prog.Ir.funcs in
+  (* every branch must be the last statement of its block *)
+  List.iter
+    (fun b ->
+      let rec go = function
+        | [] | [ _ ] -> ()
+        | s :: tl ->
+            (match s with
+            | Ir.Jump _ | Ir.Cjump _ | Ir.Ret _ ->
+                Alcotest.failf "branch in the middle of block %s" b.Ir.b_label
+            | Ir.Assign _ | Ir.Store _ | Ir.Call _ -> ());
+            go tl
+      in
+      go b.Ir.b_stmts)
+    fn.Ir.fn_blocks
+
+let test_cgen_cse_forces_temps () =
+  (* x[i] appears as both load address and store address: the address
+     computation must be shared through a temp *)
+  let prog = gen
+      {|double x[10];
+        int main(void) { int i = 3; x[i] = x[i] + 1.0; return 0; }|}
+  in
+  let fn = List.hd prog.Ir.funcs in
+  let entry = List.hd fn.Ir.fn_blocks in
+  (* the block must contain an Assign of a Binop (the shared address),
+     and the Store must use a Temp as its address *)
+  let has_addr_assign =
+    List.exists
+      (fun s ->
+        match s with
+        | Ir.Assign (_, { Ir.e_kind = Ir.Binop (Ir.Add, _, _); _ }) -> true
+        | _ -> false)
+      entry.Ir.b_stmts
+  in
+  let store_uses_temp =
+    List.exists
+      (fun s ->
+        match s with
+        | Ir.Store (_, { Ir.e_kind = Ir.Temp _; _ }, _) -> true
+        | _ -> false)
+      entry.Ir.b_stmts
+  in
+  check Alcotest.bool "address assigned to temp" true has_addr_assign;
+  check Alcotest.bool "store through temp" true store_uses_temp
+
+let test_cgen_float_pool () =
+  let prog = gen "int main(void) { print_double(2.5); return 0; }" in
+  let pools =
+    List.filter
+      (fun g -> String.length g.Ir.gl_name > 4 && String.sub g.Ir.gl_name 0 4 = ".Lfp")
+      prog.Ir.globals
+  in
+  check Alcotest.int "one pool entry" 1 (List.length pools);
+  let g = List.hd pools in
+  check Alcotest.int "8 bytes" 8 (Bytes.length g.Ir.gl_bytes);
+  check Alcotest.bool "bits" true
+    (Int64.float_of_bits (Bytes.get_int64_le g.Ir.gl_bytes 0) = 2.5)
+
+let test_cgen_type_errors () =
+  let expect_err src =
+    match gen src with
+    | _ -> Alcotest.fail "expected a front-end error"
+    | exception Loc.Error (_, _) -> ()
+  in
+  expect_err "int main(void) { return x; }";
+  expect_err "int main(void) { double d; return d % 2; }";
+  expect_err "int main(void) { return f(1); }";
+  expect_err "int main(void) { int a[3]; a = 4; return 0; }";
+  expect_err "void main2(void) { return 3; }"
+
+let test_parse_errors () =
+  let expect_err src =
+    match Cparse.parse ~file:"<t>" src with
+    | _ -> Alcotest.fail "expected a parse error"
+    | exception Loc.Error (_, _) -> ()
+  in
+  expect_err "int main(void) { return 0 }";
+  expect_err "int main(void { return 0; }";
+  expect_err "int 3x;"
+
+let suite =
+  [
+    Alcotest.test_case "interp arith" `Quick test_interp_arith;
+    Alcotest.test_case "interp output" `Quick test_interp_output;
+    Alcotest.test_case "interp loops" `Quick test_interp_loops;
+    Alcotest.test_case "interp while/break" `Quick test_interp_while_break;
+    Alcotest.test_case "interp arrays" `Quick test_interp_arrays;
+    Alcotest.test_case "interp 2d arrays" `Quick test_interp_2d_arrays;
+    Alcotest.test_case "interp doubles" `Quick test_interp_doubles;
+    Alcotest.test_case "interp functions" `Quick test_interp_functions;
+    Alcotest.test_case "interp double args" `Quick test_interp_double_args;
+    Alcotest.test_case "interp pointers" `Quick test_interp_pointers;
+    Alcotest.test_case "interp globals" `Quick test_interp_globals;
+    Alcotest.test_case "interp global array init" `Quick
+      test_interp_global_array_init;
+    Alcotest.test_case "interp char wrap" `Quick test_interp_char;
+    Alcotest.test_case "interp shortcircuit" `Quick test_interp_shortcircuit;
+    Alcotest.test_case "interp ternary" `Quick test_interp_ternary;
+    Alcotest.test_case "interp do-while" `Quick test_interp_do_while;
+    Alcotest.test_case "interp shifts" `Quick test_interp_shifts;
+    Alcotest.test_case "interp livermore-like kernel" `Quick
+      test_interp_livermore_k1_like;
+    Alcotest.test_case "cgen blocks are basic" `Quick test_cgen_blocks_are_basic;
+    Alcotest.test_case "cgen CSE forces temps" `Quick test_cgen_cse_forces_temps;
+    Alcotest.test_case "cgen float pool" `Quick test_cgen_float_pool;
+    Alcotest.test_case "cgen type errors" `Quick test_cgen_type_errors;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+  ]

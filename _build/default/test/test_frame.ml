@@ -1,0 +1,114 @@
+(* Frame layout tests: prologue/epilogue structure, slot resolution,
+   save-area bookkeeping. *)
+
+let check = Alcotest.check
+
+let toyp = lazy (Toyp.load ())
+
+let build src =
+  let m = Lazy.force toyp in
+  (Marion.compile m Strategy.Postpass ~file:"<f.c>" src).Marion.prog
+
+let func prog name =
+  List.find (fun (f : Mir.func) -> f.Mir.f_name = name) prog.Mir.p_funcs
+
+let all_insts (fn : Mir.func) =
+  List.concat_map (fun (b : Mir.block) -> b.Mir.b_insts) fn.Mir.f_blocks
+
+let test_prologue_shape () =
+  let m = Lazy.force toyp in
+  let prog = build "int f(int a) { int b[4]; b[0] = a; return b[0]; }" in
+  let fn = func prog "f" in
+  check Alcotest.bool "frame covers the array and saves" true
+    (fn.Mir.f_frame_size >= 16);
+  let entry = List.hd fn.Mir.f_blocks in
+  (match entry.Mir.b_insts with
+  | first :: _ -> (
+      (* sp decremented by the frame size *)
+      check Alcotest.string "sp adjust first" "add" first.Mir.n_op.Model.i_name;
+      match (first.Mir.n_ops.(0), first.Mir.n_ops.(2)) with
+      | Mir.Ophys r, Mir.Oimm v ->
+          check Alcotest.bool "writes sp" true
+            (Model.reg_equal r m.Model.cwvm.Model.v_sp);
+          check Alcotest.int "by -frame" (-fn.Mir.f_frame_size) v
+      | _ -> Alcotest.fail "unexpected prologue operands")
+  | [] -> Alcotest.fail "empty entry block")
+
+let test_epilogue_shape () =
+  let prog = build "int f(int a) { return a + 1; }" in
+  let fn = func prog "f" in
+  let exit_block = List.nth fn.Mir.f_blocks (List.length fn.Mir.f_blocks - 1) in
+  let non_nops =
+    List.filter
+      (fun (i : Mir.inst) -> i.Mir.n_op.Model.i_name <> "nop")
+      exit_block.Mir.b_insts
+  in
+  match List.rev non_nops with
+  | jr :: _ ->
+      check Alcotest.string "returns through jr" "jr" jr.Mir.n_op.Model.i_name
+  | [] -> Alcotest.fail "empty epilogue"
+
+let test_ra_saved_iff_calls () =
+  let m = Lazy.force toyp in
+  let ra = m.Model.cwvm.Model.v_retaddr in
+  let stores_of fn =
+    List.filter
+      (fun (i : Mir.inst) ->
+        i.Mir.n_op.Model.i_stores
+        && Array.exists
+             (fun o ->
+               match o with
+               | Mir.Ophys r -> Model.reg_equal r ra
+               | _ -> false)
+             i.Mir.n_ops)
+      (all_insts fn)
+  in
+  let leaf = func (build "int f(int a) { return a * 2; }") "f" in
+  check Alcotest.int "leaf does not save ra" 0 (List.length (stores_of leaf));
+  let caller =
+    func
+      (build
+         {|int g(int x) { return x + 1; }
+           int f(int a) { return g(a) + g(a + 1); }|})
+      "f"
+  in
+  check Alcotest.bool "caller saves ra" true (stores_of caller <> [])
+
+let test_slots_resolved () =
+  let prog =
+    build
+      {|double big[32];
+        int main(void) {
+          int i; double s = 0.0;
+          for (i = 0; i < 32; i++) big[i] = (double)i;
+          for (i = 0; i < 32; i++) s = s + big[i];
+          return (int)s % 100;
+        }|}
+  in
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun (i : Mir.inst) ->
+          Array.iter
+            (fun o ->
+              match o with
+              | Mir.Oslot _ -> Alcotest.fail "unresolved frame slot"
+              | _ -> ())
+            i.Mir.n_ops)
+        (all_insts fn))
+    prog.Mir.p_funcs
+
+let test_frame_alignment () =
+  let prog = build "int f(void) { char c[3]; c[0] = 1; return c[0]; }" in
+  let fn = func prog "f" in
+  check Alcotest.int "frame is 8-byte aligned" 0 (fn.Mir.f_frame_size mod 8)
+
+let suite =
+  [
+    Alcotest.test_case "prologue shape" `Quick test_prologue_shape;
+    Alcotest.test_case "epilogue shape" `Quick test_epilogue_shape;
+    Alcotest.test_case "ra saved iff the function calls" `Quick
+      test_ra_saved_iff_calls;
+    Alcotest.test_case "frame slots resolved" `Quick test_slots_resolved;
+    Alcotest.test_case "frame alignment" `Quick test_frame_alignment;
+  ]

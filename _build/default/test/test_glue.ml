@@ -1,0 +1,168 @@
+(* Glue transformation tests (paper 3.4): the tree-to-tree rewrites applied
+   before selection. *)
+
+let check = Alcotest.check
+
+let toyp = lazy (Toyp.load ())
+
+let r2000 = lazy (R2000.load ())
+
+(* run glue over a tiny function containing one statement, return it *)
+let glue_stmt model stmt =
+  let fn =
+    {
+      Ir.fn_name = "t";
+      fn_ret = Some Ir.I32;
+      fn_params = [];
+      fn_blocks = [ { Ir.b_label = "b"; b_stmts = [ stmt ] } ];
+      fn_slots = [];
+      fn_next_temp = 0;
+      fn_next_label = 0;
+    }
+  in
+  Glue.transform_func model fn;
+  List.hd (List.hd fn.Ir.fn_blocks).Ir.b_stmts
+
+let temp fn_ty id = Ir.mk fn_ty (Ir.Temp { Ir.t_id = id; t_ty = fn_ty; t_name = None })
+
+let test_compare_glue () =
+  (* TOYP: if (a == b) becomes if ((a :: b) == 0), the paper's example *)
+  let m = Lazy.force toyp in
+  let a = temp Ir.I32 0 and b = temp Ir.I32 1 in
+  match glue_stmt m (Ir.Cjump (Ir.Eq, a, b, "L")) with
+  | Ir.Cjump (Ir.Eq, cond, zero, "L") -> (
+      (match cond.Ir.e_kind with
+      | Ir.Binop (Ir.Cmp, x, y) ->
+          check Alcotest.bool "operands kept" true
+            (x.Ir.e_id = a.Ir.e_id && y.Ir.e_id = b.Ir.e_id)
+      | _ -> Alcotest.fail "expected a generic compare");
+      match zero.Ir.e_kind with
+      | Ir.Const 0 -> ()
+      | _ -> Alcotest.fail "expected zero")
+  | _ -> Alcotest.fail "expected a rewritten Cjump"
+
+let test_single_application () =
+  (* the rewritten tree matches the rule's LHS again; a single bottom-up
+     pass must not loop or re-wrap *)
+  let m = Lazy.force toyp in
+  let a = temp Ir.I32 0 and b = temp Ir.I32 1 in
+  match glue_stmt m (Ir.Cjump (Ir.Lt, a, b, "L")) with
+  | Ir.Cjump (Ir.Lt, { Ir.e_kind = Ir.Binop (Ir.Cmp, x, _); _ }, _, _) -> (
+      match x.Ir.e_kind with
+      | Ir.Temp _ -> ()
+      | _ -> Alcotest.fail "compare was re-wrapped: glue applied twice")
+  | _ -> Alcotest.fail "expected one application"
+
+let test_operand_class_constraint () =
+  (* the TOYP integer compare glue is declared for r, r: it must not touch
+     double comparisons *)
+  let m = Lazy.force toyp in
+  let a = temp Ir.F64 0 and b = temp Ir.F64 1 in
+  match glue_stmt m (Ir.Cjump (Ir.Eq, a, b, "L")) with
+  | Ir.Cjump (Ir.Ne, cond, _, _) -> (
+      (* the double rule ((a==b) != 0) ==> ((a::b) == 0) fires instead,
+         via the front end's float-comparison shape — build that shape *)
+      match cond.Ir.e_kind with
+      | _ -> ignore cond)
+  | Ir.Cjump (Ir.Eq, cond, _, _) -> (
+      match cond.Ir.e_kind with
+      | Ir.Temp _ ->
+          (* untouched: also acceptable, the r,r rule correctly did not fire *)
+          ()
+      | Ir.Binop (Ir.Cmp, x, _) -> (
+          match x.Ir.e_kind with
+          | Ir.Temp t ->
+              check Alcotest.bool "double operands only via the d,d rule" true
+                (t.Ir.t_ty = Ir.F64)
+          | _ -> Alcotest.fail "unexpected shape")
+      | _ -> Alcotest.fail "unexpected rewrite")
+  | _ -> Alcotest.fail "unexpected statement"
+
+let test_float_cjump_glue () =
+  (* the front end emits float conditions as (rel != 0); TOYP's d,d rules
+     rewrite them to generic compares *)
+  let m = Lazy.force toyp in
+  let a = temp Ir.F64 0 and b = temp Ir.F64 1 in
+  let rel = Ir.mk Ir.I32 (Ir.Rel (Ir.Lt, a, b)) in
+  match glue_stmt m (Ir.Cjump (Ir.Ne, rel, Ir.const 0, "L")) with
+  | Ir.Cjump (Ir.Lt, { Ir.e_kind = Ir.Binop (Ir.Cmp, _, _); _ },
+              { Ir.e_kind = Ir.Const 0; _ }, "L") ->
+      ()
+  | s -> Alcotest.failf "unexpected: %s" (Format.asprintf "%a" Ir.pp_stmt s)
+
+let test_swap_glue () =
+  (* R2000 has no c.gt.d: (a > b) swaps into (b < a) *)
+  let m = Lazy.force r2000 in
+  let a = temp Ir.F64 0 and b = temp Ir.F64 1 in
+  let rel = Ir.mk Ir.I32 (Ir.Rel (Ir.Gt, a, b)) in
+  match glue_stmt m (Ir.Cjump (Ir.Ne, rel, Ir.const 0, "L")) with
+  | Ir.Cjump (Ir.Ne, cond, _, _) -> (
+      match cond.Ir.e_kind with
+      | Ir.Rel (Ir.Lt, x, y) ->
+          check Alcotest.bool "operands swapped" true
+            (x.Ir.e_id = b.Ir.e_id && y.Ir.e_id = a.Ir.e_id)
+      | _ -> Alcotest.fail "expected swapped Lt")
+  | _ -> Alcotest.fail "expected a Cjump"
+
+let test_int_compare_untouched_on_r2000 () =
+  (* R2000 branches compare registers directly; no compare glue fires *)
+  let m = Lazy.force r2000 in
+  let a = temp Ir.I32 0 and b = temp Ir.I32 1 in
+  match glue_stmt m (Ir.Cjump (Ir.Lt, a, b, "L")) with
+  | Ir.Cjump (Ir.Lt, { Ir.e_kind = Ir.Temp _; _ }, { Ir.e_kind = Ir.Temp _; _ }, "L")
+    ->
+      ()
+  | _ -> Alcotest.fail "R2000 integer compare must not be rewritten"
+
+let test_eval_builtin () =
+  (* a rule using eval folds constants at rewrite time *)
+  let desc =
+    {|declare { %reg r[0:3] (int); %resource U; %def imm [-100:100]; }
+      cwvm { %general (int) r; %allocable r[1:2]; %SP r[3]; %fp r[2];
+             %retaddr r[1]; %hard r[0] 0; }
+      instr {
+        %instr add r, r, r (int) {$1 = $2 + $3;} [U;] (1,1,0)
+        %glue r, #imm {($1 - $2) ==> ($1 + eval(0 - $2));}
+        %instr nop {nop;} [U;] (1,1,0)
+      }|}
+  in
+  let m = Builder.load ~name:"evalglue" ~file:"<t>" desc in
+  let a = temp Ir.I32 0 in
+  let sub = Ir.mk Ir.I32 (Ir.Binop (Ir.Sub, a, Ir.const 7)) in
+  match glue_stmt m (Ir.Assign ({ Ir.t_id = 9; t_ty = Ir.I32; t_name = None }, sub)) with
+  | Ir.Assign (_, { Ir.e_kind = Ir.Binop (Ir.Add, _, { Ir.e_kind = Ir.Const (-7); _ }); _ })
+    ->
+      ()
+  | s -> Alcotest.failf "eval did not fold: %s" (Format.asprintf "%a" Ir.pp_stmt s)
+
+let test_imm_range_constraint () =
+  (* the same rule must not fire when the constant is out of the %def range *)
+  let desc =
+    {|declare { %reg r[0:3] (int); %resource U; %def imm [-100:100]; }
+      cwvm { %general (int) r; %allocable r[1:2]; %SP r[3]; %fp r[2];
+             %retaddr r[1]; %hard r[0] 0; }
+      instr {
+        %glue r, #imm {($1 - $2) ==> ($1 + eval(0 - $2));}
+        %instr nop {nop;} [U;] (1,1,0)
+      }|}
+  in
+  let m = Builder.load ~name:"rangeglue" ~file:"<t>" desc in
+  let a = temp Ir.I32 0 in
+  let sub = Ir.mk Ir.I32 (Ir.Binop (Ir.Sub, a, Ir.const 5000)) in
+  match glue_stmt m (Ir.Assign ({ Ir.t_id = 9; t_ty = Ir.I32; t_name = None }, sub)) with
+  | Ir.Assign (_, { Ir.e_kind = Ir.Binop (Ir.Sub, _, _); _ }) -> ()
+  | s -> Alcotest.failf "rule fired out of range: %s" (Format.asprintf "%a" Ir.pp_stmt s)
+
+let suite =
+  [
+    Alcotest.test_case "TOYP compare glue (paper example)" `Quick test_compare_glue;
+    Alcotest.test_case "single bottom-up application" `Quick test_single_application;
+    Alcotest.test_case "operand class constraints" `Quick test_operand_class_constraint;
+    Alcotest.test_case "float condition glue" `Quick test_float_cjump_glue;
+    Alcotest.test_case "R2000 swap glue for >" `Quick test_swap_glue;
+    Alcotest.test_case "R2000 int compares untouched" `Quick
+      test_int_compare_untouched_on_r2000;
+    Alcotest.test_case "eval builtin folds" `Quick test_eval_builtin;
+    Alcotest.test_case "immediate range constrains rules" `Quick
+      test_imm_range_constraint;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "marion"
+    [
+      ("maril", Test_maril.suite);
+      ("cfront", Test_cfront.suite);
+      ("glue", Test_glue.suite);
+      ("select", Test_select.suite);
+      ("regalloc", Test_regalloc.suite);
+      ("sched", Test_sched.suite);
+      ("frame", Test_frame.suite);
+      ("sim", Test_sim.suite);
+      ("strategy", Test_strategy.suite);
+      ("targets", Test_targets.suite);
+      ("e2e", Test_e2e.suite);
+      ("props", Test_props.suite);
+    ]

@@ -1,0 +1,224 @@
+(* Code selection tests: the brute-force ordered pattern matcher, operand
+   constraints, escapes, call lowering. *)
+
+let check = Alcotest.check
+
+let toyp = lazy (Toyp.load ())
+
+let r2000 = lazy (R2000.load ())
+
+(* compile C down to MIR (no allocation), return the named function *)
+let select_c model src =
+  let prog = Select.select_prog model (Cgen.compile ~file:"<t.c>" src) in
+  prog
+
+let func prog name =
+  List.find (fun (f : Mir.func) -> f.Mir.f_name = name) prog.Mir.p_funcs
+
+let all_insts (fn : Mir.func) =
+  List.concat_map (fun (b : Mir.block) -> b.Mir.b_insts) fn.Mir.f_blocks
+
+let mnemonics fn =
+  List.map (fun (i : Mir.inst) -> i.Mir.n_op.Model.i_name) (all_insts fn)
+
+let count_mn fn name = List.length (List.filter (( = ) name) (mnemonics fn))
+
+let test_simple_add () =
+  let m = Lazy.force toyp in
+  let p = select_c m "int f(int a, int b) { return a + b; }" in
+  let fn = func p "f" in
+  check Alcotest.bool "uses add" true (count_mn fn "add" >= 1)
+
+let test_immediate_range () =
+  let m = Lazy.force toyp in
+  (* in range: one add-immediate; out of range: lui/ori split *)
+  let small = func (select_c m "int f(int a) { return a + 100; }") "f" in
+  check Alcotest.int "no lui for small" 0 (count_mn small "lui");
+  let big = func (select_c m "int f(int a) { return a + 1000000; }") "f" in
+  check Alcotest.bool "lui for big" true (count_mn big "lui" >= 1);
+  check Alcotest.bool "or for big" true (count_mn big "or" >= 1)
+
+let test_hard_register_zero () =
+  (* storing constant 0 must use the hardwired zero register, not load 0 *)
+  let m = Lazy.force r2000 in
+  let p = select_c m "int g; int main(void) { g = 0; return 0; }" in
+  let fn = func p "main" in
+  let stores =
+    List.filter (fun (i : Mir.inst) -> i.Mir.n_op.Model.i_name = "sw") (all_insts fn)
+  in
+  check Alcotest.bool "store exists" true (stores <> []);
+  let uses_r0 =
+    List.exists
+      (fun (i : Mir.inst) ->
+        match i.Mir.n_ops.(0) with
+        | Mir.Ophys r -> r.Model.idx = 0
+        | _ -> false)
+      stores
+  in
+  check Alcotest.bool "sw uses r0 for the value" true uses_r0
+
+let test_reg_plus_imm_addressing () =
+  let m = Lazy.force r2000 in
+  let p =
+    select_c m "int a[10]; int main(void) { return a[3]; }"
+  in
+  let fn = func p "main" in
+  (* a[3] is sym+12: the load's offset operand must carry an immediate
+     after the la of the symbol, or the symbol plus 12 directly *)
+  let lws =
+    List.filter (fun (i : Mir.inst) -> i.Mir.n_op.Model.i_name = "lw") (all_insts fn)
+  in
+  check Alcotest.bool "lw selected" true (lws <> [])
+
+let test_load_width_selection () =
+  let m = Lazy.force r2000 in
+  let p =
+    select_c m
+      {|char c[8]; short s[8]; int w[8];
+        int main(void) { return c[1] + s[1] + w[1]; }|}
+  in
+  let fn = func p "main" in
+  check Alcotest.bool "lb" true (count_mn fn "lb" >= 1);
+  check Alcotest.bool "lh" true (count_mn fn "lh" >= 1);
+  check Alcotest.bool "lw" true (count_mn fn "lw" >= 1)
+
+let test_store_width_selection () =
+  let m = Lazy.force r2000 in
+  let p =
+    select_c m
+      {|char c[8]; short s[8]; int w[8]; double d[8];
+        int main(void) { c[0] = 1; s[0] = 2; w[0] = 3; d[0] = 4.0; return 0; }|}
+  in
+  let fn = func p "main" in
+  check Alcotest.bool "sb" true (count_mn fn "sb" >= 1);
+  check Alcotest.bool "sh" true (count_mn fn "sh" >= 1);
+  check Alcotest.bool "sw" true (count_mn fn "sw" >= 1);
+  check Alcotest.bool "s.d" true (count_mn fn "s.d" >= 1)
+
+let test_zero_cost_cvt_aliases () =
+  (* char->int conversion must not emit an instruction (paper 3.3) *)
+  let m = Lazy.force r2000 in
+  let p =
+    select_c m "char c[8]; int main(void) { return c[0] + 1; }"
+  in
+  let fn = func p "main" in
+  check Alcotest.int "no dummy cvt emitted" 0 (count_mn fn "cvt.b.w")
+
+let test_call_lowering () =
+  let m = Lazy.force r2000 in
+  let p =
+    select_c m
+      {|int add2(int a, int b) { return a + b; }
+        int main(void) { return add2(3, 4); }|}
+  in
+  let fn = func p "main" in
+  let calls =
+    List.filter (fun (i : Mir.inst) -> i.Mir.n_op.Model.i_call) (all_insts fn)
+  in
+  check Alcotest.int "one call" 1 (List.length calls);
+  let call = List.hd calls in
+  check Alcotest.bool "call clobbers registers" true (call.Mir.n_xdef <> []);
+  check Alcotest.int "call uses two argument registers" 2
+    (List.length call.Mir.n_xuse);
+  (* clobbers must not include callee-save registers (the return-address
+     register is clobbered by jal even where it is callee-save by list) *)
+  List.iter
+    (fun r ->
+      if not (Model.reg_equal r m.Model.cwvm.Model.v_retaddr) then
+        check Alcotest.bool "clobber is caller-save" false
+          (Model.is_callee_save m r))
+    call.Mir.n_xdef
+
+let test_escape_expansion () =
+  (* TOYP's *movd double move expands into two tagged single moves of the
+     register halves (paper 3.4) *)
+  let m = Lazy.force toyp in
+  let fn = Mir.new_func m "t" in
+  let d = Option.get (Model.find_class m "d") in
+  let p1 = Mir.fresh_preg fn d.Model.c_id in
+  let p2 = Mir.fresh_preg fn d.Model.c_id in
+  let insts = Select.emit_move fn ~dst:(Mir.Opreg p1) ~src:(Mir.Opreg p2)
+      ~cls:d.Model.c_id in
+  check Alcotest.int "two single moves" 2 (List.length insts);
+  List.iter
+    (fun (i : Mir.inst) ->
+      check Alcotest.string "single move mnemonic" "add" i.Mir.n_op.Model.i_name;
+      match (i.Mir.n_ops.(0), i.Mir.n_ops.(1)) with
+      | Mir.Opart (Mir.Opreg q1, k1), Mir.Opart (Mir.Opreg q2, k2) ->
+          check Alcotest.bool "half indices match" true (k1 = k2);
+          check Alcotest.bool "halves of dst/src" true
+            (q1.Mir.p_id = p1.Mir.p_id && q2.Mir.p_id = p2.Mir.p_id)
+      | _ -> Alcotest.fail "expected register parts")
+    insts
+
+let test_i860_fused_multiply_add () =
+  (* a*b+c on the i860 selects the chained sub-operation sequence *)
+  let m = I860.load () in
+  let p =
+    select_c m
+      {|double a; double b; double c; double r;
+        int main(void) { r = a * b + c; return 0; }|}
+  in
+  let fn = func p "main" in
+  check Alcotest.bool "multiply launched" true (count_mn fn "MA1" >= 1);
+  check Alcotest.bool "chained into the adder" true (count_mn fn "CHA" >= 1);
+  check Alcotest.int "no separate add launch" 0 (count_mn fn "AA1");
+  check Alcotest.bool "adder catches" true (count_mn fn "AWB" >= 1)
+
+let test_no_pattern_error () =
+  (* a machine without multiply cannot select a * b *)
+  let desc =
+    {|declare { %reg r[0:3] (int); %resource U;
+               %def imm [-32768:32767];
+               %label l [-100:100] +relative; }
+      cwvm { %general (int) r; %allocable r[1:2]; %SP r[3]; %fp r[2];
+             %retaddr r[1]; %hard r[0] 0;
+             %arg (int) r[1] 1; %result r[1] (int); }
+      instr {
+        %instr add r, r, r (int) {$1 = $2 + $3;} [U;] (1,1,0)
+        %instr li r, #imm (int) {$1 = $2;} [U;] (1,1,0)
+        %instr jmp #l {goto $1;} [U;] (1,1,0)
+        %instr jr r {goto $1;} [U;] (1,1,0)
+        %instr nop {nop;} [U;] (1,1,0)
+      }|}
+  in
+  let m = Builder.load ~name:"nomul" ~file:"<t>" desc in
+  match select_c m "int f(int a) { return a * a; }" with
+  | _ -> Alcotest.fail "expected No_pattern"
+  | exception Select.No_pattern _ -> ()
+
+let test_blocks_have_labels_and_succs () =
+  let m = Lazy.force toyp in
+  let p = select_c m "int main(void) { int i; int s=0; for(i=0;i<3;i++) s+=i; return s; }" in
+  let fn = func p "main" in
+  let labels = List.map (fun (b : Mir.block) -> b.Mir.b_label) fn.Mir.f_blocks in
+  List.iter
+    (fun (b : Mir.block) ->
+      List.iter
+        (fun succ ->
+          check Alcotest.bool
+            (Printf.sprintf "successor %s of %s exists" succ b.Mir.b_label)
+            true (List.mem succ labels))
+        b.Mir.b_succs)
+    fn.Mir.f_blocks
+
+let suite =
+  [
+    Alcotest.test_case "simple add" `Quick test_simple_add;
+    Alcotest.test_case "immediate range drives pattern choice" `Quick
+      test_immediate_range;
+    Alcotest.test_case "hard register matches constant zero" `Quick
+      test_hard_register_zero;
+    Alcotest.test_case "reg+imm addressing" `Quick test_reg_plus_imm_addressing;
+    Alcotest.test_case "load width selection" `Quick test_load_width_selection;
+    Alcotest.test_case "store width selection" `Quick test_store_width_selection;
+    Alcotest.test_case "zero-cost conversions alias" `Quick
+      test_zero_cost_cvt_aliases;
+    Alcotest.test_case "call lowering" `Quick test_call_lowering;
+    Alcotest.test_case "*func escape expansion" `Quick test_escape_expansion;
+    Alcotest.test_case "i860 fused multiply-add chain" `Quick
+      test_i860_fused_multiply_add;
+    Alcotest.test_case "no-pattern error" `Quick test_no_pattern_error;
+    Alcotest.test_case "block successors valid" `Quick
+      test_blocks_have_labels_and_succs;
+  ]

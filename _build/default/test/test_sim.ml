@@ -1,0 +1,172 @@
+(* Pipeline simulator tests: stalls, multiple issue, delay slots, cache,
+   tracing. *)
+
+let check = Alcotest.check
+
+let toyp = lazy (Toyp.load ())
+
+let compile model strat src = Marion.compile model strat ~file:"<t.c>" src
+
+let run ?config model strat src = Marion.run ?config (compile model strat src)
+
+let test_basic_execution () =
+  let m = Lazy.force toyp in
+  let r = run m Strategy.Postpass "int main(void) { return 6 * 7; }" in
+  check Alcotest.int "6*7" 42 r.Sim.return_value
+
+let test_output_builtins () =
+  let m = Lazy.force toyp in
+  let r =
+    run m Strategy.Postpass
+      {|int main(void) {
+          print_int(12);
+          print_char('x');
+          print_char(10);
+          print_double(2.5);
+          return 0;
+        }|}
+  in
+  check Alcotest.string "output" "12\nx\n2.500000\n" r.Sim.output
+
+let test_load_latency_stalls () =
+  (* a dependent use of a load must wait for the load latency; cycles grow
+     accordingly when no scheduling hides it *)
+  let m = Lazy.force toyp in
+  let naive = run m Strategy.Naive "int g; int main(void) { return g + 1; }" in
+  check Alcotest.bool "some stall cycles" true
+    (naive.Sim.cycles > naive.Sim.instructions)
+
+let test_scheduling_reduces_cycles () =
+  let m = Lazy.force toyp in
+  let src =
+    {|double a[32]; double b[32];
+      int main(void) {
+        int i; double s = 0.0; double t = 0.0;
+        for (i = 0; i < 32; i++) { a[i] = (double)i; b[i] = (double)(i * 2); }
+        for (i = 0; i < 32; i++) { s = s + a[i]; t = t + b[i]; }
+        return (int)(s + t);
+      }|}
+  in
+  let naive = run m Strategy.Naive src in
+  let sched = run m Strategy.Postpass src in
+  check Alcotest.int "same answer" naive.Sim.return_value sched.Sim.return_value;
+  check Alcotest.bool "scheduling reduces cycles" true
+    (sched.Sim.cycles < naive.Sim.cycles)
+
+let test_i860_dual_issue () =
+  let m = I860.load () in
+  let src =
+    {|double x; double y; double r1; double r2;
+      int main(void) {
+        int i; int s = 0;
+        r1 = x * y;
+        for (i = 0; i < 4; i++) s += i;
+        r2 = x + y;
+        return s;
+      }|}
+  in
+  let config = { Sim.default_config with Sim.trace_limit = 200 } in
+  let r = run ~config m Strategy.Postpass src in
+  let by_cycle = Hashtbl.create 32 in
+  List.iter
+    (fun (cy, _) ->
+      Hashtbl.replace by_cycle cy
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_cycle cy)))
+    r.Sim.trace;
+  let dual = Hashtbl.fold (fun _ n acc -> if n > 1 then acc + 1 else acc) by_cycle 0 in
+  check Alcotest.bool "some cycles issue two instructions" true (dual > 0)
+
+let test_cache_model () =
+  let m = Lazy.force toyp in
+  let src =
+    {|double v[512];
+      int main(void) {
+        int i; double s = 0.0;
+        for (i = 0; i < 512; i++) v[i] = (double)i;
+        for (i = 0; i < 512; i++) s = s + v[i];
+        return (int)s % 1000;
+      }|}
+  in
+  let cold =
+    run
+      ~config:
+        {
+          Sim.default_config with
+          Sim.cache = Some { Sim.lines = 16; line_bytes = 16; miss_penalty = 10 };
+        }
+      m Strategy.Postpass src
+  in
+  let warm = run m Strategy.Postpass src in
+  check Alcotest.int "same answer with cache" warm.Sim.return_value
+    cold.Sim.return_value;
+  check Alcotest.bool "misses counted" true (cold.Sim.cache_misses > 0);
+  check Alcotest.bool "misses cost cycles" true (cold.Sim.cycles > warm.Sim.cycles)
+
+let test_block_frequencies () =
+  let m = Lazy.force toyp in
+  let r =
+    run m Strategy.Postpass
+      "int main(void) { int i; int s=0; for(i=0;i<7;i++) s+=i; return s; }"
+  in
+  (* some block (the loop body) executed exactly 7 times *)
+  let has7 = Hashtbl.fold (fun _ n acc -> acc || n = 7) r.Sim.block_freq false in
+  check Alcotest.bool "loop body counted 7 times" true has7
+
+let test_nested_calls () =
+  let m = Lazy.force toyp in
+  let r =
+    run m Strategy.Postpass
+      {|int dbl(int x) { return x + x; }
+        int quad(int x) { return dbl(dbl(x)); }
+        int main(void) { return quad(5); }|}
+  in
+  check Alcotest.int "nested calls" 20 r.Sim.return_value
+
+let test_recursion_deep () =
+  let m = Lazy.force toyp in
+  let r =
+    run m Strategy.Postpass
+      {|int sum(int n) { if (n == 0) return 0; return n + sum(n - 1); }
+        int main(void) { return sum(100); }|}
+  in
+  check Alcotest.int "sum 1..100" 5050 r.Sim.return_value
+
+let test_sim_error_on_bad_memory () =
+  let m = Lazy.force toyp in
+  match
+    run m Strategy.Postpass
+      {|int main(void) { int *p = (int *)(-64); return *p; }|}
+  with
+  | _ -> Alcotest.fail "expected a simulation error"
+  | exception Sim.Sim_error _ -> ()
+
+let test_estimated_cycles_close () =
+  (* without a cache, the scheduler's estimate and the simulator agree
+     closely: they implement the same hazard model *)
+  let m = R2000.load () in
+  let src = Livermore.source ~iter:1 12 in
+  let compiled = compile m Strategy.Postpass src in
+  let sim = Marion.run compiled in
+  let est = Marion.estimated_cycles compiled sim in
+  let ratio = float_of_int sim.Sim.cycles /. est in
+  check Alcotest.bool
+    (Printf.sprintf "ratio %.3f within 0.9..1.2" ratio)
+    true
+    (ratio > 0.9 && ratio < 1.2)
+
+let suite =
+  [
+    Alcotest.test_case "basic execution" `Quick test_basic_execution;
+    Alcotest.test_case "output builtins" `Quick test_output_builtins;
+    Alcotest.test_case "load latency stalls" `Quick test_load_latency_stalls;
+    Alcotest.test_case "scheduling reduces cycles" `Quick
+      test_scheduling_reduces_cycles;
+    Alcotest.test_case "i860 dual issue visible" `Quick test_i860_dual_issue;
+    Alcotest.test_case "cache model" `Quick test_cache_model;
+    Alcotest.test_case "block frequencies" `Quick test_block_frequencies;
+    Alcotest.test_case "nested calls" `Quick test_nested_calls;
+    Alcotest.test_case "deep recursion" `Quick test_recursion_deep;
+    Alcotest.test_case "bad memory traps" `Quick test_sim_error_on_bad_memory;
+    Alcotest.test_case "estimate matches simulation" `Quick
+      test_estimated_cycles_close;
+  ]

@@ -1,0 +1,121 @@
+(* Target description tests: each built-in machine loads, reports sane
+   statistics, and runs a standard program correctly under every strategy. *)
+
+let check = Alcotest.check
+
+let standard_program =
+  (* a single double argument: TOYP cannot mix double and integer
+     arguments (its integer argument registers are the halves of d1) *)
+  {|int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    double scale(double a) { return a * 3.0 + 0.5; }
+    double g[16];
+    int main(void) {
+      int i;
+      for (i = 0; i < 16; i++) g[i] = (double)i * 1.5;
+      print_int(fib(12));
+      print_double(scale(g[3]));
+      return fib(10);
+    }|}
+
+let targets () =
+  [ Toyp.load (); R2000.load (); M88000.load (); I860.load () ]
+
+let test_all_targets_all_strategies () =
+  let oracle = Marion.interpret ~file:"<std.c>" standard_program in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun strat ->
+          let r =
+            Marion.compile_and_run model strat ~file:"<std.c>" standard_program
+          in
+          let tag =
+            Printf.sprintf "%s/%s" model.Model.name (Strategy.to_string strat)
+          in
+          check Alcotest.string (tag ^ " output") oracle.Cinterp.output
+            r.Marion.sim.Sim.output;
+          check Alcotest.int (tag ^ " exit") oracle.Cinterp.return_value
+            r.Marion.sim.Sim.return_value)
+        Strategy.all)
+    (targets ())
+
+let test_stats_match_expectations () =
+  let s88 = Stats.of_description ~name:"m88000" M88000.description in
+  let s20 = Stats.of_description ~name:"r2000" R2000.description in
+  let s86 = Stats.of_description ~name:"i860" I860.description in
+  (* the invariants Table 1 builds on *)
+  check Alcotest.int "88000 aux lats (paper: 6)" 6 s88.Stats.aux_lats;
+  check Alcotest.int "r2000 aux lats (paper: 0)" 0 s20.Stats.aux_lats;
+  check Alcotest.int "i860 clocks (paper: 4)" 4 s86.Stats.clocks;
+  check Alcotest.int "i860 funcs (paper: 7)" 7 s86.Stats.funcs;
+  check Alcotest.bool "only i860 has elements" true
+    (s88.Stats.elements = 0 && s20.Stats.elements = 0 && s86.Stats.elements > 0);
+  check Alcotest.bool "only i860 has classes" true
+    (s88.Stats.classes = 0 && s20.Stats.classes = 0 && s86.Stats.classes > 0)
+
+let test_toyp_description_figures () =
+  (* the figure subset builds independently of the extensions *)
+  let m = Builder.load ~name:"fig" ~file:"<fig>" Toyp.figure_description in
+  check Alcotest.bool "fadd.d present" true
+    (Model.instrs_by_name m "fadd.d" <> []);
+  let fadd = List.hd (Model.instrs_by_name m "fadd.d") in
+  check Alcotest.int "fadd.d latency" 6 fadd.Model.i_latency;
+  check Alcotest.int "fadd.d rvec length" 9 (Array.length fadd.Model.i_rvec)
+
+let test_temporal_registers_i860 () =
+  let m = I860.load () in
+  let temporals =
+    Array.to_list m.Model.classes
+    |> List.filter (fun (c : Model.rclass) -> c.Model.c_temporal)
+    |> List.map (fun (c : Model.rclass) -> c.Model.c_name)
+  in
+  check
+    (Alcotest.slist Alcotest.string compare)
+    "six pipeline latches"
+    [ "m1"; "m2"; "m3"; "a1"; "a2"; "a3" ]
+    temporals
+
+let test_equiv_pairs_per_target () =
+  (* d1 overlays the right underlying registers on each machine *)
+  let overlap m dset dn rset rn =
+    let dc = Option.get (Model.find_class m dset) in
+    let rc = Option.get (Model.find_class m rset) in
+    Model.regs_overlap m
+      { Model.cls = dc.Model.c_id; idx = dn }
+      { Model.cls = rc.Model.c_id; idx = rn }
+  in
+  let toyp = Toyp.load () in
+  check Alcotest.bool "toyp d1/r2" true (overlap toyp "d" 1 "r" 2);
+  let r2000 = R2000.load () in
+  check Alcotest.bool "r2000 d1/f2" true (overlap r2000 "d" 1 "f" 2);
+  check Alcotest.bool "r2000 d1/f4 distinct" false (overlap r2000 "d" 1 "f" 4);
+  let m88 = M88000.load () in
+  check Alcotest.bool "88000 d1/r2" true (overlap m88 "d" 1 "r" 2);
+  let i860 = I860.load () in
+  check Alcotest.bool "i860 d1/f2" true (overlap i860 "d" 1 "f" 2)
+
+let test_subreg_resolution () =
+  let m = Toyp.load () in
+  let d = Option.get (Model.find_class m "d") in
+  let r = Option.get (Model.find_class m "r") in
+  (match Model.subreg m { Model.cls = d.Model.c_id; idx = 1 } 0 with
+  | Some sr ->
+      check Alcotest.bool "part 0 of d1 is r2" true
+        (sr.Model.cls = r.Model.c_id && sr.Model.idx = 2)
+  | None -> Alcotest.fail "no subregister");
+  match Model.subreg m { Model.cls = d.Model.c_id; idx = 1 } 1 with
+  | Some sr -> check Alcotest.int "part 1 of d1 is r3" 3 sr.Model.idx
+  | None -> Alcotest.fail "no subregister"
+
+let suite =
+  [
+    Alcotest.test_case "all targets x all strategies" `Slow
+      test_all_targets_all_strategies;
+    Alcotest.test_case "stats match Table 1 expectations" `Quick
+      test_stats_match_expectations;
+    Alcotest.test_case "TOYP figure description" `Quick test_toyp_description_figures;
+    Alcotest.test_case "i860 temporal registers" `Quick test_temporal_registers_i860;
+    Alcotest.test_case "%equiv overlaps per target" `Quick
+      test_equiv_pairs_per_target;
+    Alcotest.test_case "subregister resolution" `Quick test_subreg_resolution;
+  ]
