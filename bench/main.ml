@@ -624,6 +624,71 @@ let ablation () =
     kernels
 
 (* ------------------------------------------------------------------ *)
+(* Checker overhead: the static checks are on by default; price them   *)
+(* ------------------------------------------------------------------ *)
+
+let checker () =
+  header "Checker overhead: share of compile time spent in static checking";
+  print_endline
+    "Livermore 1-14 on the R2000. Each compile runs front end + selection +";
+  print_endline
+    "strategy with checking on: the description lint (memoized per";
+  print_endline
+    "description, so the suite pays it once), then the MIR verifier at";
+  print_endline
+    "all four phase points (post-select, post-regalloc, post-sched,";
+  print_endline
+    "final). Each verifier call times itself into";
+  print_endline
+    "Strategy.report.check_time, so the overhead below is measured";
+  print_endline
+    "directly rather than by differencing two noisy end-to-end runs.";
+  print_newline ();
+  let model = R2000.load () in
+  let srcs =
+    List.map
+      (fun (k : Livermore.kernel) ->
+        (Printf.sprintf "lfk%d" k.Livermore.k_id, k.Livermore.k_source 1))
+      Livermore.kernels
+  in
+  let reps = 5 in
+  Printf.printf "%-10s %16s %14s %10s\n" "strategy"
+    (Printf.sprintf "compile (s x%d)" reps)
+    "checking (s)" "overhead";
+  List.iter
+    (fun strat ->
+      let check_t = ref 0.0 in
+      let _, total =
+        time_it (fun () ->
+            for _ = 1 to reps do
+              List.iter
+                (fun (file, src) ->
+                  let _, report =
+                    Strategy.compile model strat (Cgen.compile ~file src)
+                  in
+                  check_t := !check_t +. report.Strategy.check_time)
+                srcs
+            done)
+      in
+      Printf.printf "%-10s %16.3f %14.3f %9.1f%%\n" (Strategy.to_string strat)
+        total !check_t
+        (100.0 *. !check_t /. total))
+    Strategy.all;
+  let _, lint_t =
+    time_it (fun () ->
+        for _ = 1 to 100 do
+          ignore (Marion.lint model)
+        done)
+  in
+  Printf.printf "\ndescription lint alone: %.3f ms/run\n" (10.0 *. lint_t);
+  print_endline
+    "Shape check: every strategy spends under 10% of its compile time in";
+  print_endline
+    "the checker, so it stays on by default. The share is largest for";
+  print_endline
+    "naive, whose back end does the least work per function."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -695,6 +760,7 @@ let () =
   | "fig7" -> fig7 ()
   | "micro" -> micro ()
   | "ablation" -> ablation ()
+  | "checker" -> checker ()
   | "all" ->
       table1 ();
       table2 ();
@@ -707,6 +773,6 @@ let () =
       claims ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S (table1|table2|table3|table4|claims|fig1_3|fig4_5|fig6|fig7|micro|all)\n"
+        "unknown experiment %S (table1|table2|table3|table4|claims|fig1_3|fig4_5|fig6|fig7|micro|ablation|checker|all)\n"
         other;
       exit 1

@@ -37,8 +37,8 @@ let strategy_arg =
   Arg.(value & opt string "postpass" & info [ "s"; "strategy" ] ~docv:"STRAT" ~doc)
 
 let source_arg =
-  let doc = "The C source file to compile." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc)
+  let doc = "The C source file to compile (optional with --lint)." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc)
 
 let run_flag =
   let doc = "Execute the compiled program on the pipeline simulator." in
@@ -63,6 +63,40 @@ let stats_flag =
   let doc = "Print compilation statistics (spills, schedule passes, estimates)." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let lint_flag =
+  let doc =
+    "Lint the machine description (Marilint) and exit; no source file is \
+     needed. Exits non-zero if any error-severity finding remains."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
+let verify_mir_flag =
+  let doc =
+    "Run the phase verifier with the hazard replay enabled and print every \
+     diagnostic, warnings included (performance diagnostics such as \
+     structural interlock stalls, M045)."
+  in
+  Arg.(value & flag & info [ "verify-mir" ] ~doc)
+
+let no_check_flag =
+  let doc = "Disable the MIR verifier and description linter." in
+  Arg.(value & flag & info [ "no-check" ] ~doc)
+
+let check_format_arg =
+  let doc = "Diagnostic rendering: $(b,text) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "check-format" ] ~docv:"FMT" ~doc)
+
+let print_diags fmt out diags =
+  match fmt with
+  | `Json -> output_string out (Diag.list_to_json diags ^ "\n")
+  | `Text ->
+      List.iter
+        (fun d -> output_string out (Diag.to_string d ^ "\n"))
+        diags
+
 let ghfill_flag =
   let doc =
     "Fill branch delay slots with useful instructions (Gross-Hennessy) \
@@ -70,7 +104,8 @@ let ghfill_flag =
   in
   Arg.(value & flag & info [ "ghfill" ] ~doc)
 
-let main target maril strategy source run verify cache trace stats ghfill =
+let main target maril strategy source run verify cache trace stats ghfill
+    lint verify_mir no_check check_format =
   try
     let model =
       match maril with
@@ -79,13 +114,38 @@ let main target maril strategy source run verify cache trace stats ghfill =
             (read_file path)
       | None -> load_builtin target
     in
+    if lint then begin
+      let diags = Marion.lint model in
+      print_diags check_format stdout diags;
+      if Diag.has_errors diags then 1
+      else begin
+        if diags = [] then
+          Printf.eprintf "# lint: %s is clean\n" model.Model.name;
+        0
+      end
+    end
+    else begin
     let strat =
       match Strategy.of_string strategy with
       | Some s -> s
       | None -> failwith (Printf.sprintf "unknown strategy %S" strategy)
     in
+    let source =
+      match source with
+      | Some s -> s
+      | None -> failwith "no source file given (FILE.c is required unless --lint)"
+    in
     let src = read_file source in
-    let compiled = Marion.compile model strat ~file:source src in
+    let check_options =
+      { Mircheck.default_options with Mircheck.hazard_replay = verify_mir }
+    in
+    let compiled =
+      Marion.compile ~check:(not no_check) ~check_options model strat
+        ~file:source src
+    in
+    if verify_mir || compiled.Marion.report.Strategy.check_diags <> [] then
+      print_diags check_format stderr
+        compiled.Marion.report.Strategy.check_diags;
     if ghfill then begin
       let filled =
         List.fold_left
@@ -132,7 +192,12 @@ let main target maril strategy source run verify cache trace stats ghfill =
     end
     else print_string (Marion.asm_to_string compiled.Marion.prog);
     0
+    end
   with
+  | Diag.Check_error diags ->
+      if check_format = `Text then Printf.eprintf "marionc: check failed:\n";
+      print_diags check_format stderr diags;
+      1
   | Loc.Error (loc, msg) ->
       Printf.eprintf "%s\n" (Loc.error_to_string loc msg);
       1
@@ -150,6 +215,7 @@ let cmd =
     Term.(
       const main $ target_arg $ maril_arg $ strategy_arg $ source_arg
       $ run_flag $ verify_flag $ cache_flag $ trace_arg $ stats_flag
-      $ ghfill_flag)
+      $ ghfill_flag $ lint_flag $ verify_mir_flag $ no_check_flag
+      $ check_format_arg)
 
 let () = exit (Cmd.eval' cmd)

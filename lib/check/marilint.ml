@@ -1,0 +1,226 @@
+(* Maril description linter; see marilint.mli. *)
+
+let lint ?(suppress = []) (model : Model.t) : Diag.t list =
+  let diags = ref [] in
+  let report ?severity ?loc ~code fmt =
+    Format.kasprintf
+      (fun msg -> diags := Diag.make ?severity ?loc ~code msg :: !diags)
+      fmt
+  in
+  let instrs = model.Model.instrs in
+  let arities name =
+    List.map
+      (fun (i : Model.instr) -> Array.length i.Model.i_opnds)
+      (Model.instrs_by_name model name)
+  in
+
+  (* L001/L006: %aux coherence *)
+  List.iter
+    (fun (x : Model.aux) ->
+      let check_side role name opnd =
+        match arities name with
+        | [] ->
+            report ~loc:x.Model.x_loc ~code:"L001"
+              "%%aux %s instruction %s is not declared" role name
+        | ars -> (
+            match opnd with
+            | None -> ()
+            | Some o ->
+                if not (List.exists (fun a -> o >= 1 && o <= a) ars) then
+                  report ~loc:x.Model.x_loc ~code:"L006"
+                    "%%aux condition names operand %d of %s, which has \
+                     no such operand"
+                    o name)
+      in
+      let left, right =
+        match x.Model.x_cond with
+        | None -> (None, None)
+        | Some { Ast.left = _, a; right = _, b } -> (Some a, Some b)
+      in
+      check_side "producer" x.Model.x_first left;
+      check_side "consumer" x.Model.x_second right)
+    model.Model.auxes;
+
+  (* L002: unreachable duplicate instructions (first match wins) *)
+  let sig_of (i : Model.instr) =
+    (i.Model.i_opnds, i.Model.i_type, i.Model.i_sem)
+  in
+  (* zero-cost dummies are exempt: targets conventionally declare one
+     erasure per C conversion (cvt.b.w, cvt.h.w, ...) even when several
+     erase to the same no-op, and the duplication is observably
+     irrelevant for a free instruction *)
+  Array.iteri
+    (fun j (i : Model.instr) ->
+      if i.Model.i_sem <> [] && i.Model.i_cost > 0 then
+        let shadowed = ref None in
+        for k = 0 to j - 1 do
+          if !shadowed = None && sig_of instrs.(k) = sig_of i then
+            shadowed := Some instrs.(k)
+        done;
+        match !shadowed with
+        | Some earlier ->
+            report ~severity:Diag.Warning ~loc:i.Model.i_loc ~code:"L002"
+              "%s duplicates the operands and semantics of %s declared \
+               earlier; the first match wins, so this declaration is \
+               unreachable"
+              i.Model.i_name earlier.Model.i_name
+        | None -> ())
+    instrs;
+
+  (* L003: latency exceeding the resource vector *)
+  Array.iter
+    (fun (i : Model.instr) ->
+      let len = Array.length i.Model.i_rvec in
+      if (not i.Model.i_escape) && len > 0 && i.Model.i_latency > len then
+        report ~loc:i.Model.i_loc ~code:"L003"
+          "%s declares latency %d but its resource vector covers only \
+           %d cycle(s): the result would outlive the pipeline model"
+          i.Model.i_name i.Model.i_latency len)
+    instrs;
+
+  (* L004: misaligned %equiv overlays *)
+  Array.iter
+    (fun (a : Model.rclass) ->
+      Array.iter
+        (fun (b : Model.rclass) ->
+          if
+            a.Model.c_id < b.Model.c_id
+            && a.Model.c_bank = b.Model.c_bank
+            && a.Model.c_size > 0
+            && b.Model.c_size > 0
+          then begin
+            let small = min a.Model.c_size b.Model.c_size in
+            if
+              (max a.Model.c_size b.Model.c_size) mod small <> 0
+              || (a.Model.c_base - b.Model.c_base) mod small <> 0
+            then
+              report ~loc:b.Model.c_loc ~code:"L004"
+                "%%equiv overlays %s and %s misalign in their shared \
+                 bank (sizes %d and %d, bases %d and %d)"
+                a.Model.c_name b.Model.c_name a.Model.c_size
+                b.Model.c_size a.Model.c_base b.Model.c_base
+          end)
+        model.Model.classes)
+    model.Model.classes;
+
+  (* L005: packing classes that can never co-issue. Two instructions can
+     share a long word only if their element sets intersect and their
+     first-cycle resources do not collide. *)
+  let row0 (i : Model.instr) =
+    if Array.length i.Model.i_rvec > 0 then Some i.Model.i_rvec.(0)
+    else None
+  in
+  Array.iter
+    (fun (i : Model.instr) ->
+      match i.Model.i_class with
+      | None -> ()
+      | Some cls ->
+          if Bitset.is_empty cls then
+            report ~loc:i.Model.i_loc ~code:"L005"
+              "%s declares an empty packing class" i.Model.i_name
+          else
+            let partner (j : Model.instr) =
+              match j.Model.i_class with
+              | None -> false
+              | Some cj ->
+                  (not (Bitset.inter_empty cls cj))
+                  && (match (row0 i, row0 j) with
+                     | Some a, Some b -> Bitset.inter_empty a b
+                     | None, _ | _, None -> true)
+            in
+            if not (Array.exists partner instrs) then
+              report ~severity:Diag.Warning ~loc:i.Model.i_loc
+                ~code:"L005"
+                "%s's packing class can never co-issue: every \
+                 element-compatible instruction collides with it on \
+                 first-cycle resources"
+                i.Model.i_name)
+    instrs;
+
+  (* L007: temporal classes without a clock-advancing instruction *)
+  Array.iter
+    (fun (c : Model.rclass) ->
+      if c.Model.c_temporal then
+        match c.Model.c_clock with
+        | None -> ()
+        | Some k ->
+            if
+              not
+                (Array.exists
+                   (fun (i : Model.instr) ->
+                     i.Model.i_affects = Some k)
+                   instrs)
+            then
+              report ~loc:c.Model.c_loc ~code:"L007"
+                "temporal class %s is clocked by %s, which no \
+                 instruction advances: launched values could never be \
+                 caught"
+                c.Model.c_name
+                model.Model.clocks.(k))
+    model.Model.classes;
+
+  (* L008/L009: delay-slot discipline *)
+  let any_slots = ref false in
+  Array.iter
+    (fun (i : Model.instr) ->
+      if i.Model.i_slots <> 0 then begin
+        any_slots := true;
+        if not i.Model.i_branch then
+          report ~severity:Diag.Warning ~loc:i.Model.i_loc ~code:"L008"
+            "%s declares %d delay slot(s) but is not a branch"
+            i.Model.i_name (abs i.Model.i_slots)
+      end)
+    instrs;
+  if !any_slots && Model.find_nop model = None then
+    report ~code:"L009"
+      "the description declares delay slots but no non-escape nop to \
+       fill them with";
+
+  (* L010: empty ranges *)
+  Array.iter
+    (fun (d : Model.def) ->
+      if d.Model.d_lo > d.Model.d_hi then
+        report ~code:"L010" "%%def %s has an empty range %d..%d"
+          d.Model.d_name d.Model.d_lo d.Model.d_hi)
+    model.Model.defs;
+  Array.iter
+    (fun (l : Model.labdef) ->
+      if l.Model.l_lo > l.Model.l_hi then
+        report ~code:"L010" "%%label %s has an empty range %d..%d"
+          l.Model.l_name l.Model.l_lo l.Model.l_hi)
+    model.Model.labels;
+
+  (* L011: the allocator must not own the runtime model's registers *)
+  let cw = model.Model.cwvm in
+  let protected_regs =
+    [ (cw.Model.v_sp, "the stack pointer"); (cw.Model.v_fp, "the frame pointer") ]
+    @ List.map (fun (r, _) -> (r, "a hardwired register")) cw.Model.v_hard
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (p, what) ->
+          if Model.regs_overlap model a p then
+            report ~code:"L011" "%%allocable includes %a, %s"
+              (Model.pp_reg model) a what)
+        protected_regs)
+    cw.Model.v_allocable;
+
+  (* L012: costly instructions invisible to the scoreboard *)
+  Array.iter
+    (fun (i : Model.instr) ->
+      if
+        (not i.Model.i_escape)
+        && i.Model.i_cost > 0
+        && Array.length i.Model.i_rvec = 0
+      then
+        report ~severity:Diag.Warning ~loc:i.Model.i_loc ~code:"L012"
+          "%s has cost %d but an empty resource vector: the scheduler's \
+           scoreboard cannot see it"
+          i.Model.i_name i.Model.i_cost)
+    instrs;
+
+  List.rev !diags
+  |> List.filter (fun (d : Diag.t) -> not (List.mem d.Diag.code suppress))
+
+let lint_exn ?suppress model = Diag.raise_if_errors (lint ?suppress model)

@@ -1,0 +1,46 @@
+(** Maril description linter, run over the compiled machine model.
+
+    Where {!Mircheck} asks "does this program respect the description?",
+    [Marilint] asks "is the description itself coherent?". It runs at
+    model-build time ([marionc --lint], and by default before the first
+    compile of a checked run) and reports, with declaration-site
+    locations:
+
+    - [L001] %aux naming an instruction the description does not declare;
+    - [L002] (warning) an instruction whose operand kinds, type and
+      semantics duplicate an earlier one — first match wins, so the later
+      declaration is unreachable. Zero-cost dummies are exempt: declaring
+      one erasure per C conversion is conventional even when several
+      erase identically, and duplication of a free instruction is
+      observably irrelevant;
+    - [L003] a latency exceeding the instruction's resource-vector
+      length: the result would be declared ready after the instruction
+      has left the machine's own pipeline model;
+    - [L004] misaligned %equiv overlays: register classes sharing a byte
+      bank at offsets that are not multiples of the narrower class size;
+    - [L005] (warning) a packing class that can never co-issue: no
+      other instruction shares an element with it on disjoint first-cycle
+      resources, so the long-word annotation is dead;
+    - [L006] an %aux operand condition naming operand positions outside
+      the arity of the instructions it connects;
+    - [L007] a temporal register class whose clock no instruction
+      advances ([i_affects]): launched values could never be caught;
+    - [L008] (warning) delay slots declared on a non-branch instruction;
+    - [L009] delay slots declared but no non-escape [nop] to fill them
+      with;
+    - [L010] an empty %def or %label range ([lo > hi]);
+    - [L011] %allocable claiming the stack pointer, frame pointer or a
+      hardwired register — the allocator could clobber the runtime model;
+    - [L012] (warning) a non-escape instruction with positive cost and an
+      empty resource vector, invisible to the scoreboard.
+
+    Codes are stable; see DESIGN.md ("Static checking"). *)
+
+val lint : ?suppress:string list -> Model.t -> Diag.t list
+(** [lint model] returns every finding, in declaration order.
+    [suppress] drops findings whose code is listed (for documented,
+    intentional description quirks). *)
+
+val lint_exn : ?suppress:string list -> Model.t -> Diag.t list
+(** Like {!lint} but raises {!Diag.Check_error} when any [Error]-severity
+    finding survives suppression; returns the warnings otherwise. *)

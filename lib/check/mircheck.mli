@@ -1,0 +1,56 @@
+(** Phase-aware MIR verifier, in the spirit of LLVM's MachineVerifier.
+
+    The verifier re-checks, from the machine model alone, the invariants
+    each back-end phase claims to establish, turning latent miscompiles
+    into located diagnostics. It is deliberately an independent
+    re-implementation of the rules the selector, allocator, scheduler and
+    simulator share, so a bug in any one of them shows up as a
+    disagreement.
+
+    Checked at every phase point:
+    - operand shapes against {!Model.instr.i_opnds} (register class match,
+      fixed-register equality, immediates within their [%def] range,
+      labels resolving to blocks) — [M001..M006];
+    - CFG well-formedness (unique labels, [b_succs] resolve, nothing but
+      delay-slot fills after a terminator) — [M011..M013];
+    - def-before-use on registers: a forward definitely-assigned dataflow
+      (meet = intersection over predecessors, seeded with the CWVM
+      environment registers) — [M031];
+    - EAP temporal discipline (paper 4.6 Rule 1): while a value launched
+      into a temporal latch awaits its catch, no other instruction may
+      advance that clock, and no catch may read a latch never launched in
+      its block — [M043], [M044].
+
+    Phase-dependent:
+    - [Post_regalloc] and later: no pseudo-registers, no unresolved
+      [Opart] — [M021], [M022];
+    - [Post_sched] and later: every branch delay slot filled with a
+      non-branch instruction — [M041], [M042]; plus a scoreboard /
+      resource-vector / packing replay of each block that reports
+      structural interlock stalls ([M045], warning, opt-in);
+    - [Final]: no frame slots left — [M023].
+
+    Diagnostic codes are stable; see DESIGN.md ("Static checking"). *)
+
+type options = {
+  def_use : bool;  (** run the definitely-assigned analysis (M031) *)
+  hazard_replay : bool;
+      (** replay the scoreboard/resource model over scheduled blocks and
+          report structural stalls as [M045] warnings. Off by default:
+          interlock stalls are legal (the simulator stalls, it does not
+          break), so this is a performance diagnostic, surfaced by
+          [marionc --verify-mir]. *)
+}
+
+val default_options : options
+(** [{ def_use = true; hazard_replay = false }] *)
+
+val check_func : ?options:options -> Diag.phase -> Mir.func -> Diag.t list
+
+val check_prog : ?options:options -> Diag.phase -> Mir.prog -> Diag.t list
+
+val check_prog_exn :
+  ?options:options -> Diag.phase -> Mir.prog -> Diag.t list
+(** Like {!check_prog} but raises {!Diag.Check_error} when any
+    [Error]-severity diagnostic is found; returns the warnings
+    otherwise. *)

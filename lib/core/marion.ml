@@ -6,18 +6,22 @@ let load_target ~name ~file src = Builder.load ~name ~file src
 
 let parse_c ~file src = Cparse.parse ~file src
 
-let compile_ir model strategy ir =
-  let prog, report = Strategy.compile model strategy ir in
+let compile_ir ?check ?check_options model strategy ir =
+  let prog, report = Strategy.compile ?check ?check_options model strategy ir in
   { prog; report }
 
-let compile model strategy ~file src =
-  compile_ir model strategy (Cgen.compile ~file src)
+let compile ?check ?check_options model strategy ~file src =
+  compile_ir ?check ?check_options model strategy (Cgen.compile ~file src)
 
 let run ?config { prog; _ } = Sim.run ?config prog
 
-let compile_and_run ?config model strategy ~file src =
-  let compiled = compile model strategy ~file src in
+let compile_and_run ?config ?check ?check_options model strategy ~file src =
+  let compiled = compile ?check ?check_options model strategy ~file src in
   { compiled; sim = run ?config compiled }
+
+let lint = Marilint.lint
+
+let check_mir = Mircheck.check_prog
 
 let interpret ~file src = Cinterp.run_source ~file src
 

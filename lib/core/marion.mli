@@ -31,18 +31,35 @@ val load_target : name:string -> file:string -> string -> Model.t
 val parse_c : file:string -> string -> Cast.tunit
 (** Parse mini-C source. *)
 
-val compile : Model.t -> Strategy.name -> file:string -> string -> compiled
-(** Front end, glue, selection, the chosen strategy, frame layout. *)
+val compile :
+  ?check:bool -> ?check_options:Mircheck.options -> Model.t ->
+  Strategy.name -> file:string -> string -> compiled
+(** Front end, glue, selection, the chosen strategy, frame layout.
+    [check] (default [true]) lints the description and re-verifies the
+    MIR at every phase point ({!Mircheck}); invariant violations raise
+    {!Diag.Check_error}, warnings land in [report.check_diags]. *)
 
-val compile_ir : Model.t -> Strategy.name -> Ir.prog -> compiled
+val compile_ir :
+  ?check:bool -> ?check_options:Mircheck.options -> Model.t ->
+  Strategy.name -> Ir.prog -> compiled
 (** Same, starting from IL. *)
 
 val run : ?config:Sim.config -> compiled -> Sim.result
 (** Execute on the pipeline simulator. *)
 
 val compile_and_run :
-  ?config:Sim.config -> Model.t -> Strategy.name -> file:string -> string ->
-  run_result
+  ?config:Sim.config -> ?check:bool -> ?check_options:Mircheck.options ->
+  Model.t -> Strategy.name -> file:string -> string -> run_result
+
+val lint : ?suppress:string list -> Model.t -> Diag.t list
+(** {!Marilint.lint}: check a machine description for internal
+    consistency ([marionc --lint]). *)
+
+val check_mir :
+  ?options:Mircheck.options -> Diag.phase -> Mir.prog -> Diag.t list
+(** {!Mircheck.check_prog}: verify a machine program against its model at
+    one phase point ([marionc --verify-mir] runs it with the hazard
+    replay enabled). *)
 
 val interpret : file:string -> string -> Cinterp.result
 (** The reference C interpreter: the differential-testing oracle. *)

@@ -197,6 +197,7 @@ let build_classes env =
                 c_temporal = List.mem Ast.Ftemporal flags;
                 c_bank = i;
                 c_base = 0;
+                c_loc = loc;
               }
       | Ast.Dequiv _ | Ast.Dresource _ | Ast.Ddef _ | Ast.Dlabel _
       | Ast.Dmemory _ | Ast.Dclock _ | Ast.Delement _ | Ast.Dclass _ ->
@@ -489,6 +490,7 @@ let build (desc : Ast.description) =
       i_stores = facts.f_stores;
       i_branch = facts.f_branch;
       i_call = facts.f_call;
+      i_loc = d.i_loc;
     }
   in
   let instrs = ref [] and auxes = ref [] and glues = ref [] in
@@ -506,6 +508,7 @@ let build (desc : Ast.description) =
                   x_second = a.a_second;
                   x_cond = a.a_cond;
                   x_latency = a.a_latency;
+                  x_loc = a.a_loc;
                 };
               ]
       | Ast.Iglue g -> glues := !glues @ [ g ])

@@ -18,6 +18,7 @@ type rclass = {
   c_temporal : bool;
   c_bank : int;
   c_base : int;  (* byte offset of register [c_lo] within the bank *)
+  c_loc : Loc.t;  (* %reg declaration site, for diagnostics *)
 }
 
 type def = { d_id : int; d_name : string; d_lo : int; d_hi : int; d_flags : Ast.flag list }
@@ -56,6 +57,7 @@ type instr = {
   i_stores : bool;
   i_branch : bool;  (* transfers control *)
   i_call : bool;
+  i_loc : Loc.t;  (* %instr declaration site, for diagnostics *)
 }
 
 type aux = {
@@ -63,6 +65,7 @@ type aux = {
   x_second : string;  (* mnemonic of the consuming instruction *)
   x_cond : Ast.aux_cond option;
   x_latency : int;
+  x_loc : Loc.t;  (* %aux declaration site, for diagnostics *)
 }
 
 type cwvm = {

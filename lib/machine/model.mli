@@ -17,6 +17,7 @@ type rclass = {
   c_temporal : bool;
   c_bank : int;  (** backing byte bank, shared through %equiv *)
   c_base : int;  (** byte offset of register [c_lo] within the bank *)
+  c_loc : Loc.t;  (** %reg declaration site, for diagnostics *)
 }
 
 type def = {
@@ -67,6 +68,7 @@ type instr = {
   i_stores : bool;
   i_branch : bool;  (** transfers control (calls included) *)
   i_call : bool;
+  i_loc : Loc.t;  (** %instr declaration site, for diagnostics *)
 }
 
 type aux = {
@@ -74,6 +76,7 @@ type aux = {
   x_second : string;
   x_cond : Ast.aux_cond option;
   x_latency : int;
+  x_loc : Loc.t;  (** %aux declaration site, for diagnostics *)
 }
 
 type cwvm = {

@@ -20,6 +20,8 @@ type report = {
   spilled : int;
   block_estimates : (string, int) Hashtbl.t;
   schedule_passes : int;
+  check_diags : Diag.t list;
+  check_time : float;
 }
 
 let record_estimates tbl fn options =
@@ -35,7 +37,11 @@ let max_budget (model : Model.t) =
       max acc (List.length (Model.allocable_of_class model c.Model.c_id)))
     1 model.Model.classes
 
-let apply_fn strategy (fn : Mir.func) =
+(* [verify phase fn] re-checks the invariants the phase just claimed to
+   establish; errors abort the compile ({!Diag.Check_error}), warnings
+   accumulate into the report. [verify] is the identity when checking is
+   disabled. *)
+let apply_fn ~verify strategy (fn : Mir.func) =
   let spilled = ref 0 in
   let passes = ref 0 in
   let estimates = Hashtbl.create 16 in
@@ -43,7 +49,9 @@ let apply_fn strategy (fn : Mir.func) =
   | Naive ->
       let st = Regalloc.allocate ~forbid_global_pregs:true fn in
       spilled := st.Regalloc.spilled;
+      verify Diag.Post_regalloc fn;
       Delay.fill_func fn;
+      verify Diag.Post_sched fn;
       (* the "estimate" of unscheduled code is its in-order issue span *)
       passes :=
         !passes + record_estimates estimates fn
@@ -54,7 +62,9 @@ let apply_fn strategy (fn : Mir.func) =
       (* global register allocation followed by instruction scheduling *)
       let st = Regalloc.allocate fn in
       spilled := st.Regalloc.spilled;
+      verify Diag.Post_regalloc fn;
       ignore (Listsched.schedule_func fn);
+      verify Diag.Post_sched fn;
       passes := !passes + record_estimates estimates fn Listsched.default_options;
       passes := !passes + List.length fn.Mir.f_blocks
   | Ips ->
@@ -71,7 +81,9 @@ let apply_fn strategy (fn : Mir.func) =
       passes := !passes + List.length fn.Mir.f_blocks;
       let st = Regalloc.allocate fn in
       spilled := st.Regalloc.spilled;
+      verify Diag.Post_regalloc fn;
       ignore (Listsched.schedule_func fn);
+      verify Diag.Post_sched fn;
       passes := !passes + record_estimates estimates fn Listsched.default_options;
       passes := !passes + List.length fn.Mir.f_blocks
   | Rase ->
@@ -116,26 +128,77 @@ let apply_fn strategy (fn : Mir.func) =
       passes := !passes + List.length fn.Mir.f_blocks;
       let st = Regalloc.allocate fn in
       spilled := st.Regalloc.spilled;
+      verify Diag.Post_regalloc fn;
       ignore (Listsched.schedule_func fn);
+      verify Diag.Post_sched fn;
       passes := !passes + record_estimates estimates fn Listsched.default_options;
       passes := !passes + List.length fn.Mir.f_blocks);
   Frame.layout fn;
+  verify Diag.Final fn;
   (!spilled, estimates, !passes)
 
-let apply strategy (prog : Mir.prog) : report =
+let apply ?(check = true) ?check_options strategy (prog : Mir.prog) : report
+    =
+  let warnings = ref [] in
+  let check_time = ref 0.0 in
+  let verify phase fn =
+    if check then begin
+      let t0 = Sys.time () in
+      let ds = Mircheck.check_func ?options:check_options phase fn in
+      check_time := !check_time +. (Sys.time () -. t0);
+      (match Diag.errors ds with
+      | [] -> ()
+      | errs -> raise (Diag.Check_error errs));
+      warnings := !warnings @ ds
+    end
+  in
+  List.iter (fun fn -> verify Diag.Post_select fn) prog.Mir.p_funcs;
   let spilled = ref 0 in
   let passes = ref 0 in
   let estimates = Hashtbl.create 64 in
   List.iter
     (fun fn ->
-      let s, e, p = apply_fn strategy fn in
+      let s, e, p = apply_fn ~verify strategy fn in
       spilled := !spilled + s;
       passes := !passes + p;
       Hashtbl.iter (fun k v -> Hashtbl.replace estimates k v) e)
     prog.Mir.p_funcs;
-  { strategy; spilled = !spilled; block_estimates = estimates; schedule_passes = !passes }
+  {
+    strategy;
+    spilled = !spilled;
+    block_estimates = estimates;
+    schedule_passes = !passes;
+    check_diags = !warnings;
+    check_time = !check_time;
+  }
 
-let compile model strategy (ir : Ir.prog) =
+(* Linting is a pure function of the machine model, and models are built
+   once and never mutated afterwards: memoize by physical identity so a
+   driver (or benchmark) compiling many programs against one description
+   lints it once, not per compile. The cache is tiny — one entry per
+   distinct live model. *)
+let lint_cache : (Model.t * Diag.t list) list ref = ref []
+
+let lint_model model =
+  match List.assq_opt model !lint_cache with
+  | Some ds -> ds
+  | None ->
+      let ds = Marilint.lint model in
+      let keep = List.filteri (fun i _ -> i < 7) !lint_cache in
+      lint_cache := (model, ds) :: keep;
+      ds
+
+let compile ?(check = true) ?check_options model strategy (ir : Ir.prog) =
+  let t0 = Sys.time () in
+  let lint_warnings =
+    if check then Diag.raise_if_errors (lint_model model) else []
+  in
+  let lint_time = if check then Sys.time () -. t0 else 0.0 in
   let prog = Select.select_prog model ir in
-  let report = apply strategy prog in
-  (prog, report)
+  let report = apply ~check ?check_options strategy prog in
+  ( prog,
+    {
+      report with
+      check_diags = lint_warnings @ report.check_diags;
+      check_time = lint_time +. report.check_time;
+    } )

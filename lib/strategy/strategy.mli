@@ -32,13 +32,36 @@ type report = {
       (** scheduler cost estimate per block label — the estimated-cycles
           side of Table 4 *)
   schedule_passes : int;  (** how many block schedules were computed *)
+  check_diags : Diag.t list;
+      (** warnings from the phase verifier (and, through {!compile}, the
+          description linter); empty when checking is off. Errors never
+          land here — they raise {!Diag.Check_error}. *)
+  check_time : float;
+      (** CPU seconds spent inside the phase verifier (and, through
+          {!compile}, the description linter) for this compile; [0.] when
+          checking is off. Lets callers report checking overhead without
+          differencing two noisy end-to-end timings (see [bench] —
+          "checker"). *)
 }
 
-val apply : name -> Mir.prog -> report
+val apply :
+  ?check:bool -> ?check_options:Mircheck.options -> name -> Mir.prog ->
+  report
 (** Run the strategy over every function of a selected program: scheduling
     and register allocation per the strategy, then frame layout. The
     program is rewritten in place and is ready for the simulator or the
-    assembly printer. *)
+    assembly printer.
 
-val compile : Model.t -> name -> Ir.prog -> Mir.prog * report
-(** Glue + selection + {!apply}. *)
+    With [check] (the default), {!Mircheck.check_func} re-verifies every
+    function at each phase point — post-select, post-regalloc, post-sched
+    and final — raising {!Diag.Check_error} at the first phase whose
+    invariants do not hold and collecting warnings into [check_diags].
+    [check_options] tunes the verifier (e.g. the opt-in hazard replay
+    behind [marionc --verify-mir]). *)
+
+val compile :
+  ?check:bool -> ?check_options:Mircheck.options -> Model.t -> name ->
+  Ir.prog -> Mir.prog * report
+(** Glue + selection + {!apply}. When [check] is set this also runs
+    {!Marilint.lint_exn} over the model first, so a compile against an
+    incoherent description fails before selection. *)

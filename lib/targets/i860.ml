@@ -125,12 +125,12 @@ instr {
   %instr fdiv.ss f, f, f (float) {$1 = $2 / $3;}
          [M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
           M1; M1; M1; M1; M1; M1; FWB;] (1,22,0)
-  %instr fcvt.i.d d, r (double) {$1 = double($2);} [CI, A1; A2; A3, FWB;] (1,4,0)
-  %instr fcvt.d.i r, d (int) {$1 = int($2);} [CI, A1; A2; A3, FWB;] (1,4,0)
+  %instr fcvt.i.d d, r (double) {$1 = double($2);} [CI; A1; A2; A3, FWB;] (1,4,0)
+  %instr fcvt.d.i r, d (int) {$1 = int($2);} [CI; A1; A2; A3, FWB;] (1,4,0)
   %instr fcvt.s.d f, d (float) {$1 = float($2);} [A1; A2; A3, FWB;] (1,3,0)
   %instr fcvt.d.s d, f (double) {$1 = double($2);} [A1; A2; A3, FWB;] (1,3,0)
-  %instr fcvt.i.s f, r (float) {$1 = float($2);} [CI, A1; A2; A3, FWB;] (1,4,0)
-  %instr fcvt.s.i r, f (int) {$1 = int($2);} [CI, A1; A2; A3, FWB;] (1,4,0)
+  %instr fcvt.i.s f, r (float) {$1 = float($2);} [CI; A1; A2; A3, FWB;] (1,4,0)
+  %instr fcvt.s.i r, f (int) {$1 = int($2);} [CI; A1; A2; A3, FWB;] (1,4,0)
 
   %instr pfeq fcc, d, d (int) {$1 = $2 == $3;} [A1; A2, FWB;] (1,2,0)
   %instr pflt fcc, d, d (int) {$1 = $2 < $3;} [A1; A2, FWB;] (1,2,0)
@@ -167,7 +167,7 @@ instr {
   %instr sne r, r, r (int) {$1 = $2 != $3;} [CI; CEX;] (1,1,0)
 
   /* integer multiply runs through the FP multiplier on the i860 */
-  %instr imul r, r, r (int) {$1 = $2 * $3;} [CI, M1; M2; M3, FWB;] (1,4,0)
+  %instr imul r, r, r (int) {$1 = $2 * $3;} [CI; M1; M2; M3, FWB;] (1,4,0)
   %instr idiv r, r, r (int) {$1 = $2 / $3;}
          [CI, M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;
           M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1; M1;

@@ -31,6 +31,53 @@ let mem t i =
   let w = i / bits_per_word and b = i mod bits_per_word in
   t.words.(w) land (1 lsl b) <> 0
 
+(* ones at bit positions [lob .. hib] of one word *)
+let range_mask lob hib =
+  let lo = -1 lsl lob in
+  let hi = if hib >= bits_per_word - 1 then -1 else (1 lsl (hib + 1)) - 1 in
+  lo land hi
+
+let set_range t pos len =
+  if len < 0 then invalid_arg "Bitset.set_range";
+  if len > 0 then begin
+    check t pos;
+    check t (pos + len - 1);
+    let hi = pos + len - 1 in
+    let w0 = pos / bits_per_word and w1 = hi / bits_per_word in
+    if w0 = w1 then
+      t.words.(w0) <-
+        t.words.(w0) lor range_mask (pos mod bits_per_word) (hi mod bits_per_word)
+    else begin
+      t.words.(w0) <-
+        t.words.(w0) lor range_mask (pos mod bits_per_word) (bits_per_word - 1);
+      for w = w0 + 1 to w1 - 1 do
+        t.words.(w) <- -1
+      done;
+      t.words.(w1) <- t.words.(w1) lor range_mask 0 (hi mod bits_per_word)
+    end
+  end
+
+let mem_range t pos len =
+  if len < 0 then invalid_arg "Bitset.mem_range";
+  len = 0
+  ||
+  (check t pos;
+   check t (pos + len - 1);
+   let hi = pos + len - 1 in
+   let w0 = pos / bits_per_word and w1 = hi / bits_per_word in
+   if w0 = w1 then
+     let m = range_mask (pos mod bits_per_word) (hi mod bits_per_word) in
+     t.words.(w0) land m = m
+   else begin
+     let m0 = range_mask (pos mod bits_per_word) (bits_per_word - 1)
+     and m1 = range_mask 0 (hi mod bits_per_word) in
+     let ok = ref (t.words.(w0) land m0 = m0 && t.words.(w1) land m1 = m1) in
+     for w = w0 + 1 to w1 - 1 do
+       if t.words.(w) <> -1 then ok := false
+     done;
+     !ok
+   end)
+
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
 let clear t = Array.fill t.words 0 (Array.length t.words) 0
@@ -42,6 +89,12 @@ let union_into ~dst src =
   same_cap dst src;
   for i = 0 to Array.length dst.words - 1 do
     dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let inter_into ~dst src =
+  same_cap dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
   done
 
 let inter_empty a b =

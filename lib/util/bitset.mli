@@ -19,6 +19,15 @@ val unset : t -> int -> unit
 
 val mem : t -> int -> bool
 
+val set_range : t -> int -> int -> unit
+(** [set_range t pos len] adds elements [pos .. pos+len-1], word-wise.
+    Contiguous runs (register storage bytes) are the common shape in the
+    checker's dataflow sets, so this avoids a per-bit loop. *)
+
+val mem_range : t -> int -> int -> bool
+(** [mem_range t pos len] is [true] iff every element of
+    [pos .. pos+len-1] is a member. [len = 0] is vacuously true. *)
+
 val is_empty : t -> bool
 
 val clear : t -> unit
@@ -26,6 +35,10 @@ val clear : t -> unit
 val union_into : dst:t -> t -> unit
 (** [union_into ~dst src] adds every element of [src] to [dst]. Capacities
     must agree. *)
+
+val inter_into : dst:t -> t -> unit
+(** [inter_into ~dst src] removes from [dst] every element not in [src].
+    Capacities must agree. *)
 
 val inter_empty : t -> t -> bool
 (** [inter_empty a b] is [true] iff [a] and [b] share no element. *)

@@ -10,6 +10,7 @@ let () =
       ("frame", Test_frame.suite);
       ("sim", Test_sim.suite);
       ("strategy", Test_strategy.suite);
+      ("check", Test_check.suite);
       ("targets", Test_targets.suite);
       ("e2e", Test_e2e.suite);
       ("props", Test_props.suite);

@@ -274,6 +274,31 @@ let prop_bitset_model =
          = List.sort_uniq compare (xs @ ys)
       && Bitset.cardinal a = List.length (List.sort_uniq compare xs))
 
+(* word-wise range operations against the one-bit-at-a-time model, with a
+   capacity that forces ranges to straddle word boundaries *)
+let prop_bitset_ranges =
+  QCheck2.Test.make ~name:"bitset range ops agree with per-bit loops"
+    ~count:200
+    QCheck2.Gen.(
+      triple gen_small_ints (int_bound 199) (int_bound 150))
+    (fun (xs, pos, len) ->
+      let cap = 200 in
+      let len = min len (cap - pos) in
+      let orig = Bitset.of_list cap xs in
+      let a = Bitset.copy orig and b = Bitset.copy orig in
+      Bitset.set_range a pos len;
+      for i = pos to pos + len - 1 do
+        Bitset.set b i
+      done;
+      let all_orig = ref true in
+      for i = pos to pos + len - 1 do
+        if not (Bitset.mem orig i) then all_orig := false
+      done;
+      Bitset.equal a b
+      && Bitset.mem_range a pos len
+      && Bitset.mem_range orig pos len = !all_orig
+      && Bitset.mem_range orig pos 0)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -284,4 +309,5 @@ let suite =
       prop_schedule_never_longer_than_serial;
       prop_maril_roundtrip;
       prop_bitset_model;
+      prop_bitset_ranges;
     ]
