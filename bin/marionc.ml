@@ -104,8 +104,24 @@ let ghfill_flag =
   in
   Arg.(value & flag & info [ "ghfill" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Compile functions in parallel on N domains (0 = one per core). The \
+     generated code, statistics and diagnostics are bit-identical to -j 1; \
+     only timings differ."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let time_passes_flag =
+  let doc =
+    "Print a per-pass profile of the compile (wall-clock time per pass, \
+     spills, schedule passes, code-DAG sizes) to stderr, as text or JSON \
+     per --check-format."
+  in
+  Arg.(value & flag & info [ "time-passes" ] ~doc)
+
 let main target maril strategy source run verify cache trace stats ghfill
-    lint verify_mir no_check check_format =
+    jobs time_passes lint verify_mir no_check check_format =
   try
     let model =
       match maril with
@@ -139,13 +155,20 @@ let main target maril strategy source run verify cache trace stats ghfill
     let check_options =
       { Mircheck.default_options with Mircheck.hazard_replay = verify_mir }
     in
+    let jobs = if jobs <= 0 then Dpool.recommended_jobs () else jobs in
     let compiled =
-      Marion.compile ~check:(not no_check) ~check_options model strat
-        ~file:source src
+      Marion.compile ~check:(not no_check) ~check_options ~jobs
+        ~dag_stats:time_passes model strat ~file:source src
     in
     if verify_mir || compiled.Marion.report.Strategy.check_diags <> [] then
       print_diags check_format stderr
         compiled.Marion.report.Strategy.check_diags;
+    if time_passes then begin
+      let p = compiled.Marion.report.Strategy.profile in
+      match check_format with
+      | `Json -> output_string stderr (Profile.to_json p ^ "\n")
+      | `Text -> output_string stderr (Profile.to_text p)
+    end;
     if ghfill then begin
       let filled =
         List.fold_left
@@ -215,7 +238,7 @@ let cmd =
     Term.(
       const main $ target_arg $ maril_arg $ strategy_arg $ source_arg
       $ run_flag $ verify_flag $ cache_flag $ trace_arg $ stats_flag
-      $ ghfill_flag $ lint_flag $ verify_mir_flag $ no_check_flag
-      $ check_format_arg)
+      $ ghfill_flag $ jobs_arg $ time_passes_flag $ lint_flag
+      $ verify_mir_flag $ no_check_flag $ check_format_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,6 +52,11 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val json_escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). Shared by the
+    diagnostic renderer and other dependency-free JSON emitters in the
+    system (e.g. {!Profile.to_json}). *)
+
 val to_json : t -> string
 (** One diagnostic as a JSON object. *)
 

@@ -32,16 +32,23 @@ val parse_c : file:string -> string -> Cast.tunit
 (** Parse mini-C source. *)
 
 val compile :
-  ?check:bool -> ?check_options:Mircheck.options -> Model.t ->
-  Strategy.name -> file:string -> string -> compiled
+  ?check:bool -> ?check_options:Mircheck.options -> ?jobs:int ->
+  ?dag_stats:bool -> Model.t -> Strategy.name -> file:string -> string ->
+  compiled
 (** Front end, glue, selection, the chosen strategy, frame layout.
     [check] (default [true]) lints the description and re-verifies the
     MIR at every phase point ({!Mircheck}); invariant violations raise
-    {!Diag.Check_error}, warnings land in [report.check_diags]. *)
+    {!Diag.Check_error}, warnings land in [report.check_diags].
+
+    [jobs] (default 1, [marionc -j]) compiles functions in parallel on an
+    OCaml domain pool; every observable output (assembly, report,
+    diagnostics) is bit-identical to the sequential path — see
+    {!Strategy.apply}. [dag_stats] adds code-DAG sizes to
+    [report.profile] ([marionc --time-passes]). *)
 
 val compile_ir :
-  ?check:bool -> ?check_options:Mircheck.options -> Model.t ->
-  Strategy.name -> Ir.prog -> compiled
+  ?check:bool -> ?check_options:Mircheck.options -> ?jobs:int ->
+  ?dag_stats:bool -> Model.t -> Strategy.name -> Ir.prog -> compiled
 (** Same, starting from IL. *)
 
 val run : ?config:Sim.config -> compiled -> Sim.result
@@ -49,7 +56,8 @@ val run : ?config:Sim.config -> compiled -> Sim.result
 
 val compile_and_run :
   ?config:Sim.config -> ?check:bool -> ?check_options:Mircheck.options ->
-  Model.t -> Strategy.name -> file:string -> string -> run_result
+  ?jobs:int -> ?dag_stats:bool -> Model.t -> Strategy.name -> file:string ->
+  string -> run_result
 
 val lint : ?suppress:string list -> Model.t -> Diag.t list
 (** {!Marilint.lint}: check a machine description for internal

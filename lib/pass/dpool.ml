@@ -1,0 +1,35 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+type 'b slot = Empty | Ok of 'b | Exn of exn * Printexc.raw_backtrace
+
+let map (type a b) ~jobs (f : a -> b) (xs : a list) : b list =
+  let n = List.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results : b slot array = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            (try Ok (f input.(i))
+             with e -> Exn (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (* re-raise for the earliest failing index: identical to what the
+       sequential path would have raised first *)
+    Array.to_list results
+    |> List.map (function
+         | Ok r -> r
+         | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+         | Empty -> assert false)
+  end

@@ -1,0 +1,24 @@
+(** A small domain pool: order-preserving parallel map over independent
+    work items (one compile unit per item).
+
+    Work is handed out by an atomic cursor — self-balancing, so a slow
+    item (one function with huge blocks, or RASE's budget sweep) does not
+    stall the pool — while results land in a slot per {e input index}, so
+    the output order, and the order any caller merges results in, is the
+    input order regardless of completion order. That indexing is the whole
+    determinism argument: parallelism changes {e when} an item runs, never
+    {e where} its result goes.
+
+    Exceptions are captured per item and re-raised for the {e earliest}
+    failing input index after all domains join — the same exception the
+    sequential path would have raised first. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: what [-j 0] resolves to. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs] domains
+    (the calling domain included; clamped to [List.length xs], so
+    [~jobs:1] — or a singleton list — takes the plain sequential path
+    with no domain spawned). [f] must only touch state owned by its item;
+    see the determinism notes above for error handling. *)

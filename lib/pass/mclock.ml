@@ -1,0 +1,5 @@
+external now_ns : unit -> int64 = "marion_mclock_now_ns"
+
+let wall () = Int64.to_float (now_ns ()) /. 1e9
+
+let cpu () = Sys.time ()

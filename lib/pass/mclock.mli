@@ -1,0 +1,20 @@
+(** Clocks for compiler self-timing.
+
+    Per-pass profiling and the bench harness need {e wall} time that keeps
+    meaning when several domains run at once — [Sys.time] (process CPU
+    seconds) advances once per busy domain and so overstates parallel
+    elapsed time by the domain count. [wall] reads the OS monotonic clock
+    (never adjusted backwards, unlike [Unix.gettimeofday]); [cpu] is kept
+    alongside because the wall/cpu pair is itself informative: cpu much
+    larger than wall means real parallelism, cpu much smaller means the
+    process was descheduled. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an arbitrary epoch. *)
+
+val wall : unit -> float
+(** Monotonic wall-clock seconds since an arbitrary epoch. Only
+    differences are meaningful. *)
+
+val cpu : unit -> float
+(** Process CPU seconds ([Sys.time]): the sum over all domains. *)

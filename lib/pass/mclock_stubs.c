@@ -1,0 +1,25 @@
+/* Monotonic clock for pass timing.
+
+   Sys.time is process CPU time: it overstates nothing on one core but
+   becomes meaningless the moment several domains compile in parallel
+   (four busy domains advance it four times faster than the wall).
+   Unix.gettimeofday is wall time but jumps under NTP adjustment.
+   CLOCK_MONOTONIC is the clock profilers want: wall-paced, never
+   adjusted backwards. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value marion_mclock_now_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                         + (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,32 @@
+type stats = {
+  mutable spilled : int;
+  mutable sched_passes : int;
+  mutable estimates : (string * int) list;
+  mutable reg_budget : int option;
+}
+
+type t = {
+  name : string;
+  post : Diag.phase option;
+  run : stats -> Mir.func -> unit;
+}
+
+let v ?post name run = { name; post; run }
+
+let record_estimate st label cost = st.estimates <- (label, cost) :: st.estimates
+
+let fresh_stats () =
+  { spilled = 0; sched_passes = 0; estimates = []; reg_budget = None }
+
+let run_pipeline ?(verify = fun _ _ -> ()) ?(record = fun _ _ -> ()) passes fn
+    =
+  let st = fresh_stats () in
+  List.iter
+    (fun p ->
+      let t0 = Mclock.wall () in
+      p.run st fn;
+      record p.name (Mclock.wall () -. t0);
+      Option.iter (fun phase -> verify phase fn) p.post)
+    passes;
+  st.estimates <- List.rev st.estimates;
+  st

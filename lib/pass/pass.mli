@@ -1,0 +1,63 @@
+(** Composable compilation passes over MIR functions.
+
+    The paper's three real strategies (Postpass, IPS, RASE) are phase
+    orderings of the same vocabulary — allocate, schedule, estimate —
+    differing only in which passes run, in what order, and under what
+    register limits (Castañeda Lozano & Schulte's survey frames the whole
+    design space this way). A {!t} reifies one step of such an ordering: a
+    named in-place transform of a {!Mir.func} together with the
+    {!Diag.phase} post-condition it claims to establish. The pipeline
+    runner then inserts verification {e uniformly} — after every pass that
+    declares a post-condition — instead of strategies hand-placing
+    [verify] calls, and times every pass on the monotonic clock
+    ({!Mclock.wall}).
+
+    A pass communicates with its successors only through the function it
+    rewrites and through {!stats} — the per-function accumulator for
+    spills, schedule-pass counts, block cost estimates and the RASE
+    register budget. Keeping all inter-pass state in [stats] (rather than
+    closures over mutable refs) is what makes whole pipelines safe to run
+    on one function per domain: a pipeline touches nothing shared. *)
+
+type stats = {
+  mutable spilled : int;  (** pseudo-registers sent to memory *)
+  mutable sched_passes : int;  (** block schedules computed so far *)
+  mutable estimates : (string * int) list;
+      (** block-label/cost pairs, accumulated {e reversed} (newest first);
+          {!run_pipeline} returns them oldest-first. Use
+          {!record_estimate}. *)
+  mutable reg_budget : int option;
+      (** the register budget one pass chooses for a later one (RASE's
+          sweep communicating the schedule's register appetite to the
+          prepass scheduler and thence the allocator) *)
+}
+
+type t = {
+  name : string;  (** stable name, keyed into {!Profile.t} entries *)
+  post : Diag.phase option;
+      (** the phase whose invariants hold after this pass; the runner
+          verifies it when a verifier is supplied *)
+  run : stats -> Mir.func -> unit;  (** rewrites the function in place *)
+}
+
+val v : ?post:Diag.phase -> string -> (stats -> Mir.func -> unit) -> t
+(** [v ~post name run] builds a pass. *)
+
+val record_estimate : stats -> string -> int -> unit
+(** Record one block's schedule cost estimate (O(1), reversed
+    accumulation). *)
+
+val fresh_stats : unit -> stats
+
+val run_pipeline :
+  ?verify:(Diag.phase -> Mir.func -> unit) ->
+  ?record:(string -> float -> unit) ->
+  t list ->
+  Mir.func ->
+  stats
+(** Run each pass in order over the function. After a pass with
+    [post = Some phase], call [verify phase fn] (default: no
+    verification — the identity). Each pass's wall-clock seconds are
+    reported to [record name secs] (default: discard); verification time
+    is {e not} attributed to the pass — verifiers time themselves. The
+    returned stats carry [estimates] oldest-first. *)

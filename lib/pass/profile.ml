@@ -1,0 +1,104 @@
+type entry = {
+  e_name : string;
+  mutable e_wall : float;
+  mutable e_runs : int;
+}
+
+type t = {
+  p_strategy : string;
+  p_jobs : int;
+  mutable p_funcs : int;
+  mutable p_blocks : int;
+  mutable p_insts : int;
+  mutable p_dag_nodes : int;
+  mutable p_dag_edges : int;
+  mutable p_spilled : int;
+  mutable p_schedule_passes : int;
+  mutable p_wall : float;
+  mutable p_cpu : float;
+  mutable p_entries : entry list;
+}
+
+let create ?(jobs = 1) ~strategy () =
+  {
+    p_strategy = strategy;
+    p_jobs = jobs;
+    p_funcs = 0;
+    p_blocks = 0;
+    p_insts = 0;
+    p_dag_nodes = 0;
+    p_dag_edges = 0;
+    p_spilled = 0;
+    p_schedule_passes = 0;
+    p_wall = 0.0;
+    p_cpu = 0.0;
+    p_entries = [];
+  }
+
+(* The entry list stays in first-recorded order: a compile records in
+   pipeline order and units are merged in program order, so the order is
+   deterministic. Profiles hold ~a dozen entries; linear search is fine. *)
+let add t name secs =
+  match List.find_opt (fun e -> e.e_name = name) t.p_entries with
+  | Some e ->
+      e.e_wall <- e.e_wall +. secs;
+      e.e_runs <- e.e_runs + 1
+  | None ->
+      t.p_entries <-
+        t.p_entries @ [ { e_name = name; e_wall = secs; e_runs = 1 } ]
+
+let entries t = t.p_entries
+
+let passes_wall t =
+  List.fold_left (fun acc e -> acc +. e.e_wall) 0.0 t.p_entries
+
+let to_text t =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "# pass profile: strategy=%s jobs=%d\n" t.p_strategy
+    t.p_jobs;
+  Printf.bprintf buf
+    "#   funcs=%d blocks=%d insts=%d spilled=%d schedule-passes=%d\n"
+    t.p_funcs t.p_blocks t.p_insts t.p_spilled t.p_schedule_passes;
+  if t.p_dag_nodes > 0 then
+    Printf.bprintf buf "#   dag-nodes=%d dag-edges=%d\n" t.p_dag_nodes
+      t.p_dag_edges;
+  List.iter
+    (fun e ->
+      Printf.bprintf buf "#   %-24s %9.6fs  x%d\n" e.e_name e.e_wall e.e_runs)
+    t.p_entries;
+  Printf.bprintf buf "#   %-24s %9.6fs  (wall %.6fs, cpu %.6fs)\n"
+    "total of passes" (passes_wall t) t.p_wall t.p_cpu;
+  Buffer.contents buf
+
+let to_json t =
+  let field name v = Printf.sprintf "\"%s\":%s" name v in
+  let str s = Printf.sprintf "\"%s\"" (Diag.json_escape s) in
+  let num f = Printf.sprintf "%.9f" f in
+  let pass e =
+    "{"
+    ^ String.concat ","
+        [
+          field "name" (str e.e_name);
+          field "wall_s" (num e.e_wall);
+          field "runs" (string_of_int e.e_runs);
+        ]
+    ^ "}"
+  in
+  "{"
+  ^ String.concat ","
+      [
+        field "strategy" (str t.p_strategy);
+        field "jobs" (string_of_int t.p_jobs);
+        field "funcs" (string_of_int t.p_funcs);
+        field "blocks" (string_of_int t.p_blocks);
+        field "insts" (string_of_int t.p_insts);
+        field "dag_nodes" (string_of_int t.p_dag_nodes);
+        field "dag_edges" (string_of_int t.p_dag_edges);
+        field "spilled" (string_of_int t.p_spilled);
+        field "schedule_passes" (string_of_int t.p_schedule_passes);
+        field "wall_s" (num t.p_wall);
+        field "cpu_s" (num t.p_cpu);
+        field "passes"
+          ("[" ^ String.concat "," (List.map pass t.p_entries) ^ "]");
+      ]
+  ^ "}"

@@ -1,0 +1,59 @@
+(** Per-compile observability: where did this compile spend its time, and
+    what did each phase do to the code?
+
+    One [Profile.t] is built per {!Strategy.compile} (or per standalone
+    {!Strategy.apply}). Pass runners ({!Pass.run_pipeline}) and the
+    strategy driver feed it named wall-time samples — one per pass per
+    function, merged in program order so the rendered profile is
+    deterministic up to timing jitter — plus aggregate shape statistics
+    (functions, blocks, instructions, code-DAG sizes, spills, schedule
+    passes). Rendered as text ([marionc --time-passes]) or JSON
+    ([--check-format=json]), alongside — not inside — the Diag JSON. *)
+
+type entry = {
+  e_name : string;  (** pass name, e.g. ["allocate"], ["verify:final"] *)
+  mutable e_wall : float;  (** accumulated wall-clock seconds *)
+  mutable e_runs : int;  (** how many times the pass ran (once per fn) *)
+}
+
+type t = {
+  p_strategy : string;
+  p_jobs : int;  (** domain count the compile was asked to use *)
+  mutable p_funcs : int;
+  mutable p_blocks : int;
+  mutable p_insts : int;  (** instructions in the final code, nops included *)
+  mutable p_dag_nodes : int;  (** post-select code-DAG nodes; [0] unless
+                                  DAG statistics were requested *)
+  mutable p_dag_edges : int;
+  mutable p_spilled : int;
+  mutable p_schedule_passes : int;
+  mutable p_wall : float;  (** whole-compile wall seconds (monotonic) *)
+  mutable p_cpu : float;  (** whole-compile CPU seconds, summed over
+                              domains — [p_cpu > p_wall] means the domain
+                              pool really ran in parallel *)
+  mutable p_entries : entry list;  (** first-recorded order *)
+}
+
+val create : ?jobs:int -> strategy:string -> unit -> t
+(** Fresh profile with zeroed counters; [jobs] defaults to 1. *)
+
+val add : t -> string -> float -> unit
+(** [add t name secs] accumulates one timed run of pass [name]. First
+    recording of a name fixes its position in {!val-entries}. *)
+
+val entries : t -> entry list
+(** Entries in first-recorded order (pipeline order for a compile, since
+    units are merged in program order). *)
+
+val passes_wall : t -> float
+(** Sum of all entry wall times. For a sequential compile this accounts
+    for nearly all of [p_wall] (the remainder is driver glue); under a
+    parallel compile it can exceed [p_wall] — it is a sum over domains. *)
+
+val to_text : t -> string
+(** Multi-line human-readable rendering ([marionc --time-passes]). *)
+
+val to_json : t -> string
+(** One JSON object:
+    [{"strategy":…,"jobs":…,"funcs":…,…,"wall_s":…,"cpu_s":…,
+      "passes":[{"name":…,"wall_s":…,"runs":…},…]}]. *)

@@ -22,13 +22,64 @@ type report = {
   schedule_passes : int;
   check_diags : Diag.t list;
   check_time : float;
+  profile : Profile.t;
 }
 
-let record_estimates tbl fn options =
+(* ------------------------------------------------------------------ *)
+(* The pass vocabulary: every strategy is a phase ordering of these.   *)
+(* ------------------------------------------------------------------ *)
+
+let no_delay =
+  { Listsched.default_options with Listsched.fill_delay = false }
+
+let count_blocks (fn : Mir.func) = List.length fn.Mir.f_blocks
+
+let record_estimates st fn options =
   List.iter
-    (fun (label, len) -> Hashtbl.replace tbl label len)
+    (fun (label, len) -> Pass.record_estimate st label len)
     (Listsched.estimate_func ~options fn);
-  List.length fn.Mir.f_blocks
+  st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn
+
+let p_allocate =
+  Pass.v ~post:Diag.Post_regalloc "allocate" (fun st fn ->
+      let r = Regalloc.allocate fn in
+      st.Pass.spilled <- st.Pass.spilled + r.Regalloc.spilled)
+
+(* the naive baseline: local allocation only, every cross-block value
+   spilled *)
+let p_allocate_local =
+  Pass.v ~post:Diag.Post_regalloc "allocate-local" (fun st fn ->
+      let r = Regalloc.allocate ~forbid_global_pregs:true fn in
+      st.Pass.spilled <- st.Pass.spilled + r.Regalloc.spilled)
+
+let p_fill_delay =
+  Pass.v ~post:Diag.Post_sched "fill-delay" (fun _ fn -> Delay.fill_func fn)
+
+let p_schedule =
+  Pass.v ~post:Diag.Post_sched "schedule" (fun st fn ->
+      ignore (Listsched.schedule_func fn);
+      st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn)
+
+(* IPS prepass: schedule under a register-use limit so the allocator sees
+   the schedule's register appetite; no post-condition — the output is
+   rescheduled after allocation *)
+let p_ips_prepass =
+  Pass.v "ips-prepass" (fun st fn ->
+      let options =
+        { no_delay with Listsched.reg_limit = Listsched.Auto_minus 1 }
+      in
+      ignore (Listsched.schedule_func ~options fn);
+      st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn)
+
+let p_estimate =
+  Pass.v "estimate" (fun st fn ->
+      record_estimates st fn Listsched.default_options)
+
+(* the "estimate" of unscheduled (naive) code is its in-order issue span.
+   NOTE: estimating naive code with the list scheduler slightly flatters
+   it; the naive strategy is only a baseline *)
+let p_estimate_inorder =
+  Pass.v "estimate-inorder" (fun st fn -> record_estimates st fn no_delay)
 
 (* The largest register budget worth exploring for RASE estimates. *)
 let max_budget (model : Model.t) =
@@ -37,70 +88,16 @@ let max_budget (model : Model.t) =
       max acc (List.length (Model.allocable_of_class model c.Model.c_id)))
     1 model.Model.classes
 
-(* [verify phase fn] re-checks the invariants the phase just claimed to
-   establish; errors abort the compile ({!Diag.Check_error}), warnings
-   accumulate into the report. [verify] is the identity when checking is
-   disabled. *)
-let apply_fn ~verify strategy (fn : Mir.func) =
-  let spilled = ref 0 in
-  let passes = ref 0 in
-  let estimates = Hashtbl.create 16 in
-  (match strategy with
-  | Naive ->
-      let st = Regalloc.allocate ~forbid_global_pregs:true fn in
-      spilled := st.Regalloc.spilled;
-      verify Diag.Post_regalloc fn;
-      Delay.fill_func fn;
-      verify Diag.Post_sched fn;
-      (* the "estimate" of unscheduled code is its in-order issue span *)
-      passes :=
-        !passes + record_estimates estimates fn
-          { Listsched.default_options with Listsched.fill_delay = false }
-      (* NOTE: estimating naive code with the list scheduler slightly
-         flatters it; the naive strategy is only a baseline *)
-  | Postpass ->
-      (* global register allocation followed by instruction scheduling *)
-      let st = Regalloc.allocate fn in
-      spilled := st.Regalloc.spilled;
-      verify Diag.Post_regalloc fn;
-      ignore (Listsched.schedule_func fn);
-      verify Diag.Post_sched fn;
-      passes := !passes + record_estimates estimates fn Listsched.default_options;
-      passes := !passes + List.length fn.Mir.f_blocks
-  | Ips ->
-      (* prepass schedule under a register-use limit, allocate, schedule
-         again *)
-      let prepass =
-        {
-          Listsched.default_options with
-          Listsched.reg_limit = Listsched.Auto_minus 1;
-          fill_delay = false;
-        }
-      in
-      ignore (Listsched.schedule_func ~options:prepass fn);
-      passes := !passes + List.length fn.Mir.f_blocks;
-      let st = Regalloc.allocate fn in
-      spilled := st.Regalloc.spilled;
-      verify Diag.Post_regalloc fn;
-      ignore (Listsched.schedule_func fn);
-      verify Diag.Post_sched fn;
-      passes := !passes + record_estimates estimates fn Listsched.default_options;
-      passes := !passes + List.length fn.Mir.f_blocks
-  | Rase ->
-      (* gather schedule cost estimates under varying register budgets
-         (the expensive part: the scheduler runs once per budget per
-         block), pick the budget where the estimated cost stops improving,
-         then allocate under it and schedule finally *)
-      let model = fn.Mir.f_model in
-      let budgets = max_budget model in
+(* RASE's expensive half: gather schedule cost estimates under varying
+   register budgets (the scheduler runs once per budget per block) and
+   keep the budget where the estimated cost stops improving *)
+let p_rase_sweep =
+  Pass.v "rase-sweep" (fun st fn ->
+      let budgets = max_budget fn.Mir.f_model in
       let cost_at = Array.make (budgets + 1) max_int in
       for n = 1 to budgets do
         let options =
-          {
-            Listsched.default_options with
-            Listsched.reg_limit = Listsched.Fixed n;
-            fill_delay = false;
-          }
+          { no_delay with Listsched.reg_limit = Listsched.Fixed n }
         in
         let total =
           List.fold_left
@@ -108,97 +105,216 @@ let apply_fn ~verify strategy (fn : Mir.func) =
             0
             (Listsched.estimate_func ~options fn)
         in
-        passes := !passes + List.length fn.Mir.f_blocks;
+        st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn;
         cost_at.(n) <- total
       done;
       let best = ref 1 in
       for n = 2 to budgets do
         if cost_at.(n) < cost_at.(!best) then best := n
       done;
-      (* prepass under the chosen budget communicates the schedule's
-         register appetite to the allocator *)
-      let prepass =
-        {
-          Listsched.default_options with
-          Listsched.reg_limit = Listsched.Fixed !best;
-          fill_delay = false;
-        }
-      in
-      ignore (Listsched.schedule_func ~options:prepass fn);
-      passes := !passes + List.length fn.Mir.f_blocks;
-      let st = Regalloc.allocate fn in
-      spilled := st.Regalloc.spilled;
-      verify Diag.Post_regalloc fn;
-      ignore (Listsched.schedule_func fn);
-      verify Diag.Post_sched fn;
-      passes := !passes + record_estimates estimates fn Listsched.default_options;
-      passes := !passes + List.length fn.Mir.f_blocks);
-  Frame.layout fn;
-  verify Diag.Final fn;
-  (!spilled, estimates, !passes)
+      st.Pass.reg_budget <- Some !best)
 
-let apply ?(check = true) ?check_options strategy (prog : Mir.prog) : report
-    =
-  let warnings = ref [] in
-  let check_time = ref 0.0 in
+(* prepass under the chosen budget communicates the schedule's register
+   appetite to the allocator *)
+let p_rase_prepass =
+  Pass.v "rase-prepass" (fun st fn ->
+      let budget = Option.value ~default:1 st.Pass.reg_budget in
+      let options =
+        { no_delay with Listsched.reg_limit = Listsched.Fixed budget }
+      in
+      ignore (Listsched.schedule_func ~options fn);
+      st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn)
+
+let p_frame =
+  Pass.v ~post:Diag.Final "frame-layout" (fun _ fn -> Frame.layout fn)
+
+let pipeline = function
+  | Naive -> [ p_allocate_local; p_fill_delay; p_estimate_inorder; p_frame ]
+  | Postpass -> [ p_allocate; p_schedule; p_estimate; p_frame ]
+  | Ips -> [ p_ips_prepass; p_allocate; p_schedule; p_estimate; p_frame ]
+  | Rase ->
+      [
+        p_rase_sweep; p_rase_prepass; p_allocate; p_schedule; p_estimate;
+        p_frame;
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-function compile units and the domain-parallel driver           *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything one function's pipeline produced, self-contained so units
+   can run on any domain and be merged deterministically in program
+   order. Diagnostics and pass times are accumulated reversed (O(1)
+   consing) and re-reversed once here. *)
+type unit_result = {
+  u_stats : Pass.stats;
+  u_diags : Diag.t list;  (* oldest-first *)
+  u_check_wall : float;
+  u_times : (string * float) list;  (* oldest-first *)
+  u_blocks : int;
+  u_insts : int;
+  u_dag_nodes : int;
+  u_dag_edges : int;
+}
+
+let compile_unit ~check ~check_options ~dag_stats strategy (fn : Mir.func) =
+  let diags = ref [] in
+  let check_wall = ref 0.0 in
+  let times = ref [] in
+  let record pass secs = times := (pass, secs) :: !times in
+  (* [verify phase fn] re-checks the invariants the phase just claimed to
+     establish; errors abort the compile ({!Diag.Check_error}), warnings
+     accumulate into the report. The identity when checking is off. *)
   let verify phase fn =
     if check then begin
-      let t0 = Sys.time () in
+      let t0 = Mclock.wall () in
       let ds = Mircheck.check_func ?options:check_options phase fn in
-      check_time := !check_time +. (Sys.time () -. t0);
+      let dt = Mclock.wall () -. t0 in
+      check_wall := !check_wall +. dt;
+      record ("verify:" ^ Diag.phase_name phase) dt;
       (match Diag.errors ds with
       | [] -> ()
       | errs -> raise (Diag.Check_error errs));
-      warnings := !warnings @ ds
+      diags := List.rev_append ds !diags
     end
   in
-  List.iter (fun fn -> verify Diag.Post_select fn) prog.Mir.p_funcs;
-  let spilled = ref 0 in
-  let passes = ref 0 in
+  verify Diag.Post_select fn;
+  let dag_nodes = ref 0 and dag_edges = ref 0 in
+  if dag_stats then begin
+    let t0 = Mclock.wall () in
+    List.iter
+      (fun (b : Mir.block) ->
+        let dag = Dag.build fn.Mir.f_model b.Mir.b_insts in
+        dag_nodes := !dag_nodes + Array.length dag.Dag.insts;
+        dag_edges := !dag_edges + List.length dag.Dag.edges)
+      fn.Mir.f_blocks;
+    record "dag-stats" (Mclock.wall () -. t0)
+  end;
+  let st = Pass.run_pipeline ~verify ~record (pipeline strategy) fn in
+  {
+    u_stats = st;
+    u_diags = List.rev !diags;
+    u_check_wall = !check_wall;
+    u_times = List.rev !times;
+    u_blocks = count_blocks fn;
+    u_insts =
+      List.fold_left
+        (fun acc (b : Mir.block) -> acc + List.length b.Mir.b_insts)
+        0 fn.Mir.f_blocks;
+    u_dag_nodes = !dag_nodes;
+    u_dag_edges = !dag_edges;
+  }
+
+let apply ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
+    ?profile strategy (prog : Mir.prog) : report =
+  let w0 = Mclock.wall () and c0 = Mclock.cpu () in
+  let prof =
+    match profile with
+    | Some p -> p
+    | None -> Profile.create ~jobs ~strategy:(to_string strategy) ()
+  in
+  (* fan the per-function units out over the domain pool; results come
+     back in program order whatever the completion order *)
+  let units =
+    Dpool.map ~jobs
+      (compile_unit ~check ~check_options ~dag_stats strategy)
+      prog.Mir.p_funcs
+  in
+  (* deterministic merge: fold the units in program order. Estimates are
+     [Hashtbl.replace]d in recording order so a label reused by a later
+     function wins, exactly as in a sequential compile; diagnostics are
+     accumulated reversed and re-reversed once at the end. *)
+  let spilled = ref 0 and passes = ref 0 and check_wall = ref 0.0 in
   let estimates = Hashtbl.create 64 in
+  let diags = ref [] in
   List.iter
-    (fun fn ->
-      let s, e, p = apply_fn ~verify strategy fn in
-      spilled := !spilled + s;
-      passes := !passes + p;
-      Hashtbl.iter (fun k v -> Hashtbl.replace estimates k v) e)
-    prog.Mir.p_funcs;
+    (fun u ->
+      spilled := !spilled + u.u_stats.Pass.spilled;
+      passes := !passes + u.u_stats.Pass.sched_passes;
+      List.iter
+        (fun (label, len) -> Hashtbl.replace estimates label len)
+        u.u_stats.Pass.estimates;
+      diags := List.rev_append u.u_diags !diags;
+      check_wall := !check_wall +. u.u_check_wall;
+      List.iter (fun (pass, secs) -> Profile.add prof pass secs) u.u_times;
+      prof.Profile.p_funcs <- prof.Profile.p_funcs + 1;
+      prof.Profile.p_blocks <- prof.Profile.p_blocks + u.u_blocks;
+      prof.Profile.p_insts <- prof.Profile.p_insts + u.u_insts;
+      prof.Profile.p_dag_nodes <- prof.Profile.p_dag_nodes + u.u_dag_nodes;
+      prof.Profile.p_dag_edges <- prof.Profile.p_dag_edges + u.u_dag_edges)
+    units;
+  prof.Profile.p_spilled <- prof.Profile.p_spilled + !spilled;
+  prof.Profile.p_schedule_passes <-
+    prof.Profile.p_schedule_passes + !passes;
+  (* when called standalone, the profile's total is apply's own span; a
+     caller that passed a profile in owns the totals *)
+  if profile = None then begin
+    prof.Profile.p_wall <- Mclock.wall () -. w0;
+    prof.Profile.p_cpu <- Mclock.cpu () -. c0
+  end;
   {
     strategy;
     spilled = !spilled;
     block_estimates = estimates;
     schedule_passes = !passes;
-    check_diags = !warnings;
-    check_time = !check_time;
+    check_diags = List.rev !diags;
+    check_time = !check_wall;
+    profile = prof;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program compilation                                           *)
+(* ------------------------------------------------------------------ *)
 
 (* Linting is a pure function of the machine model, and models are built
    once and never mutated afterwards: memoize by physical identity so a
    driver (or benchmark) compiling many programs against one description
    lints it once, not per compile. The cache is tiny — one entry per
-   distinct live model. *)
+   distinct live model — and mutex-guarded so parallel compiles against
+   one model still lint it exactly once. *)
+let lint_mutex = Mutex.create ()
+
 let lint_cache : (Model.t * Diag.t list) list ref = ref []
 
 let lint_model model =
-  match List.assq_opt model !lint_cache with
-  | Some ds -> ds
-  | None ->
-      let ds = Marilint.lint model in
-      let keep = List.filteri (fun i _ -> i < 7) !lint_cache in
-      lint_cache := (model, ds) :: keep;
-      ds
+  Mutex.lock lint_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lint_mutex)
+    (fun () ->
+      match List.assq_opt model !lint_cache with
+      | Some ds -> ds
+      | None ->
+          let ds = Marilint.lint model in
+          let keep = List.filteri (fun i _ -> i < 7) !lint_cache in
+          lint_cache := (model, ds) :: keep;
+          ds)
 
-let compile ?(check = true) ?check_options model strategy (ir : Ir.prog) =
-  let t0 = Sys.time () in
+let compile ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
+    model strategy (ir : Ir.prog) =
+  let w0 = Mclock.wall () and c0 = Mclock.cpu () in
+  let prof = Profile.create ~jobs ~strategy:(to_string strategy) () in
+  let lint_wall = ref 0.0 in
   let lint_warnings =
-    if check then Diag.raise_if_errors (lint_model model) else []
+    if check then begin
+      let t0 = Mclock.wall () in
+      let ds = Diag.raise_if_errors (lint_model model) in
+      lint_wall := Mclock.wall () -. t0;
+      Profile.add prof "lint" !lint_wall;
+      ds
+    end
+    else []
   in
-  let lint_time = if check then Sys.time () -. t0 else 0.0 in
+  let t_sel = Mclock.wall () in
   let prog = Select.select_prog model ir in
-  let report = apply ~check ?check_options strategy prog in
+  Profile.add prof "select" (Mclock.wall () -. t_sel);
+  let report =
+    apply ~check ?check_options ~jobs ~dag_stats ~profile:prof strategy prog
+  in
+  prof.Profile.p_wall <- Mclock.wall () -. w0;
+  prof.Profile.p_cpu <- Mclock.cpu () -. c0;
   ( prog,
     {
       report with
       check_diags = lint_warnings @ report.check_diags;
-      check_time = lint_time +. report.check_time;
+      check_time = !lint_wall +. report.check_time;
     } )

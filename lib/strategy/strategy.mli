@@ -4,6 +4,11 @@
     target- and strategy-independent machinery (selector, allocator, code
     DAG builder, scheduling support) without changing it.
 
+    Each strategy is a declarative {!Pass} pipeline — a phase ordering of
+    one shared allocate/schedule/estimate vocabulary (see {!pipeline}),
+    with MIR verification inserted uniformly after every pass that
+    declares a {!Diag.phase} post-condition:
+
     - {b Naive} — local-only baseline: no global register allocation, no
       scheduling. Stands in for the paper's [cc -O1] comparison point.
     - {b Postpass} (Gibbons & Muchnick / Hennessy & Gross) — global
@@ -25,6 +30,11 @@ val to_string : name -> string
 
 val of_string : string -> name option
 
+val pipeline : name -> Pass.t list
+(** The strategy's phase ordering, in execution order. All
+    strategy-specific allocation/scheduling behaviour lives in these pass
+    definitions; {!apply} contains none. *)
+
 type report = {
   strategy : name;
   spilled : int;  (** pseudo-registers spilled across all functions *)
@@ -34,34 +44,56 @@ type report = {
   schedule_passes : int;  (** how many block schedules were computed *)
   check_diags : Diag.t list;
       (** warnings from the phase verifier (and, through {!compile}, the
-          description linter); empty when checking is off. Errors never
-          land here — they raise {!Diag.Check_error}. *)
+          description linter), grouped per function in program order;
+          empty when checking is off. Errors never land here — they raise
+          {!Diag.Check_error}. *)
   check_time : float;
-      (** CPU seconds spent inside the phase verifier (and, through
-          {!compile}, the description linter) for this compile; [0.] when
-          checking is off. Lets callers report checking overhead without
-          differencing two noisy end-to-end timings (see [bench] —
-          "checker"). *)
+      (** wall-clock seconds (monotonic) spent inside the phase verifier
+          (and, through {!compile}, the description linter) for this
+          compile; [0.] when checking is off. Lets callers report checking
+          overhead without differencing two noisy end-to-end timings (see
+          [bench] — "checker"). Under [jobs > 1] this is summed across
+          domains. *)
+  profile : Profile.t;
+      (** per-pass wall times and code-shape statistics for this compile
+          ([marionc --time-passes], bench "parallel"). Timing values are
+          the only non-deterministic part of a report. *)
 }
 
 val apply :
-  ?check:bool -> ?check_options:Mircheck.options -> name -> Mir.prog ->
-  report
-(** Run the strategy over every function of a selected program: scheduling
-    and register allocation per the strategy, then frame layout. The
-    program is rewritten in place and is ready for the simulator or the
-    assembly printer.
+  ?check:bool -> ?check_options:Mircheck.options -> ?jobs:int ->
+  ?dag_stats:bool -> ?profile:Profile.t -> name -> Mir.prog -> report
+(** Run the strategy's pipeline over every function of a selected
+    program: scheduling and register allocation per the strategy, then
+    frame layout. The program is rewritten in place and is ready for the
+    simulator or the assembly printer.
 
     With [check] (the default), {!Mircheck.check_func} re-verifies every
-    function at each phase point — post-select, post-regalloc, post-sched
-    and final — raising {!Diag.Check_error} at the first phase whose
-    invariants do not hold and collecting warnings into [check_diags].
-    [check_options] tunes the verifier (e.g. the opt-in hazard replay
-    behind [marionc --verify-mir]). *)
+    function at each phase point — post-select, then after every pass
+    declaring a post-condition (post-regalloc, post-sched, final) —
+    raising {!Diag.Check_error} at the first phase whose invariants do
+    not hold and collecting warnings into [check_diags]. [check_options]
+    tunes the verifier (e.g. the opt-in hazard replay behind
+    [marionc --verify-mir]).
+
+    [jobs] (default 1) fans the per-function compile units out over an
+    OCaml domain pool. The observable outputs — rewritten program,
+    spills, estimates, schedule passes, diagnostics — are bit-identical
+    for every [jobs]: units share no mutable state, results merge in
+    program order, and errors re-raise for the earliest function that
+    would have failed sequentially. Only [check_time] and the [profile]
+    timings vary.
+
+    [dag_stats] (default false) additionally sizes each block's
+    post-select code DAG into the profile (costs one extra DAG build per
+    block). [profile] accumulates into a caller-owned profile instead of
+    a fresh one; the caller then owns its wall/cpu totals. *)
 
 val compile :
-  ?check:bool -> ?check_options:Mircheck.options -> Model.t -> name ->
-  Ir.prog -> Mir.prog * report
-(** Glue + selection + {!apply}. When [check] is set this also runs
-    {!Marilint.lint_exn} over the model first, so a compile against an
-    incoherent description fails before selection. *)
+  ?check:bool -> ?check_options:Mircheck.options -> ?jobs:int ->
+  ?dag_stats:bool -> Model.t -> name -> Ir.prog -> Mir.prog * report
+(** Glue + selection + {!apply}. When [check] is set this also runs the
+    description linter over the model first — memoized per model behind a
+    mutex, so many (possibly concurrent) compiles against one description
+    lint it exactly once — and a compile against an incoherent
+    description fails before selection. *)

@@ -456,3 +456,8 @@ let kernels =
 let find id = List.find (fun k -> k.k_id = id) kernels
 
 let source ?(iter = 1) id = (find id).k_source iter
+
+let sources ?(iter = 1) () =
+  List.map
+    (fun k -> (Printf.sprintf "lfk%d" k.k_id, k.k_source iter))
+    kernels

@@ -18,3 +18,8 @@ val find : int -> kernel
 val source : ?iter:int -> int -> string
 (** [source ~iter id] is kernel [id]'s source with [iter] repetitions
     (default 1). *)
+
+val sources : ?iter:int -> unit -> (string * string) list
+(** Every kernel as a [(file, source)] pair named ["lfk<id>"] — the
+    suite's conventional file names, shared by the bench harness and the
+    pass-manager determinism tests. *)

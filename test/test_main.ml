@@ -10,6 +10,7 @@ let () =
       ("frame", Test_frame.suite);
       ("sim", Test_sim.suite);
       ("strategy", Test_strategy.suite);
+      ("pass", Test_pass.suite);
       ("check", Test_check.suite);
       ("targets", Test_targets.suite);
       ("e2e", Test_e2e.suite);
