@@ -7,12 +7,16 @@
 
 open Cmdliner
 
+(* a command-line-level mistake, as opposed to a failing compile: reported
+   on exit code 2 (see the EXIT STATUS section of the man page) *)
+exception Usage of string
+
 let load_builtin = function
   | "toyp" -> Toyp.load ()
   | "r2000" -> R2000.load ()
   | "m88000" -> M88000.load ()
   | "i860" -> I860.load ()
-  | other -> failwith (Printf.sprintf "unknown target %S" other)
+  | other -> raise (Usage (Printf.sprintf "unknown target %S" other))
 
 let read_file path =
   let ic = open_in_bin path in
@@ -89,13 +93,43 @@ let check_format_arg =
     & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
     & info [ "check-format" ] ~docv:"FMT" ~doc)
 
+(* diagnostics are sorted into render order first, so the printed stream
+   is a pure function of the findings — byte-identical under -j N *)
 let print_diags fmt out diags =
+  let diags = Diag.sort diags in
   match fmt with
   | `Json -> output_string out (Diag.list_to_json diags ^ "\n")
   | `Text ->
       List.iter
         (fun d -> output_string out (Diag.to_string d ^ "\n"))
         diags
+
+let no_validate_flag =
+  let doc =
+    "Disable the translation validators (Schedval/Regval) that check \
+     every scheduling and allocation pass for semantic preservation."
+  in
+  Arg.(value & flag & info [ "no-validate" ] ~doc)
+
+let validate_format_arg =
+  let doc =
+    "Rendering for translation-validator diagnostics (V-codes): $(b,text) \
+     or $(b,json). Defaults to the --check-format setting."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "validate-format" ] ~docv:"FMT" ~doc)
+
+(* distinct exit codes per failing subsystem, so scripts (and CI) can tell
+   a bad invocation from a bad description from a miscompile *)
+let is_code_prefix c (d : Diag.t) =
+  String.length d.Diag.code > 0 && d.Diag.code.[0] = c
+
+let check_error_exit diags =
+  if List.exists (is_code_prefix 'V') diags then 5
+  else if List.exists (is_code_prefix 'M') diags then 4
+  else 3
 
 let ghfill_flag =
   let doc =
@@ -121,7 +155,9 @@ let time_passes_flag =
   Arg.(value & flag & info [ "time-passes" ] ~doc)
 
 let main target maril strategy source run verify cache trace stats ghfill
-    jobs time_passes lint verify_mir no_check check_format =
+    jobs time_passes lint verify_mir no_check check_format no_validate
+    validate_format =
+  let validate_format = Option.value ~default:check_format validate_format in
   try
     let model =
       match maril with
@@ -133,7 +169,7 @@ let main target maril strategy source run verify cache trace stats ghfill
     if lint then begin
       let diags = Marion.lint model in
       print_diags check_format stdout diags;
-      if Diag.has_errors diags then 1
+      if Diag.has_errors diags then 3
       else begin
         if diags = [] then
           Printf.eprintf "# lint: %s is clean\n" model.Model.name;
@@ -144,12 +180,13 @@ let main target maril strategy source run verify cache trace stats ghfill
     let strat =
       match Strategy.of_string strategy with
       | Some s -> s
-      | None -> failwith (Printf.sprintf "unknown strategy %S" strategy)
+      | None -> raise (Usage (Printf.sprintf "unknown strategy %S" strategy))
     in
     let source =
       match source with
       | Some s -> s
-      | None -> failwith "no source file given (FILE.c is required unless --lint)"
+      | None ->
+          raise (Usage "no source file given (FILE.c is required unless --lint)")
     in
     let src = read_file source in
     let check_options =
@@ -157,9 +194,13 @@ let main target maril strategy source run verify cache trace stats ghfill
     in
     let jobs = if jobs <= 0 then Dpool.recommended_jobs () else jobs in
     let compiled =
-      Marion.compile ~check:(not no_check) ~check_options ~jobs
-        ~dag_stats:time_passes model strat ~file:source src
+      Marion.compile ~check:(not no_check) ~check_options
+        ~validate:(not no_validate) ~jobs ~dag_stats:time_passes model strat
+        ~file:source src
     in
+    if compiled.Marion.report.Strategy.validate_diags <> [] then
+      print_diags validate_format stderr
+        compiled.Marion.report.Strategy.validate_diags;
     if verify_mir || compiled.Marion.report.Strategy.check_diags <> [] then
       print_diags check_format stderr
         compiled.Marion.report.Strategy.check_diags;
@@ -218,9 +259,14 @@ let main target maril strategy source run verify cache trace stats ghfill
     end
   with
   | Diag.Check_error diags ->
-      if check_format = `Text then Printf.eprintf "marionc: check failed:\n";
-      print_diags check_format stderr diags;
-      1
+      let code = check_error_exit diags in
+      let fmt = if code = 5 then validate_format else check_format in
+      if fmt = `Text then Printf.eprintf "marionc: check failed:\n";
+      print_diags fmt stderr diags;
+      code
+  | Usage msg ->
+      Printf.eprintf "marionc: %s\n" msg;
+      2
   | Loc.Error (loc, msg) ->
       Printf.eprintf "%s\n" (Loc.error_to_string loc msg);
       1
@@ -231,14 +277,36 @@ let main target maril strategy source run verify cache trace stats ghfill
       Printf.eprintf "marionc: simulation failed: %s\n" msg;
       1
 
+let exits =
+  Cmd.Exit.info 1
+    ~doc:
+      "on compilation or simulation failure, or a simulator/interpreter \
+       mismatch under $(b,--verify)."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "on usage errors: unknown target or strategy, or a missing \
+          $(i,FILE.c)."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "when the description linter finds errors (L-codes, \
+          $(b,--lint))."
+  :: Cmd.Exit.info 4
+       ~doc:"when the MIR phase verifier finds errors (M-codes)."
+  :: Cmd.Exit.info 5
+       ~doc:
+         "when a translation validator finds a semantic-preservation \
+          violation (V-codes)."
+  :: Cmd.Exit.defaults
+
 let cmd =
   let doc = "retargetable instruction-scheduling compiler (Marion, PLDI 1991)" in
-  let info = Cmd.info "marionc" ~version:"1.0" ~doc in
+  let info = Cmd.info "marionc" ~version:"1.0" ~doc ~exits in
   Cmd.v info
     Term.(
       const main $ target_arg $ maril_arg $ strategy_arg $ source_arg
       $ run_flag $ verify_flag $ cache_flag $ trace_arg $ stats_flag
       $ ghfill_flag $ jobs_arg $ time_passes_flag $ lint_flag
-      $ verify_mir_flag $ no_check_flag $ check_format_arg)
+      $ verify_mir_flag $ no_check_flag $ check_format_arg
+      $ no_validate_flag $ validate_format_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -54,6 +54,44 @@ let to_string d = Format.asprintf "%a" pp d
 let raise_if_errors l =
   match errors l with [] -> l | errs -> raise (Check_error errs)
 
+(* Render-order comparison: (function, phase, code, location), then the
+   remaining fields so equal keys still order deterministically. [None]
+   sorts first in each optional component; phases follow pipeline order. *)
+let phase_rank = function
+  | Post_select -> 0
+  | Post_regalloc -> 1
+  | Post_sched -> 2
+  | Final -> 3
+
+let compare_render a b =
+  let opt cmp x y =
+    match (x, y) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some x, Some y -> cmp x y
+  in
+  let c = opt String.compare a.func b.func in
+  if c <> 0 then c
+  else
+    let c = opt (fun x y -> compare (phase_rank x) (phase_rank y)) a.phase b.phase in
+    if c <> 0 then c
+    else
+      let c = String.compare a.code b.code in
+      if c <> 0 then c
+      else
+        let c =
+          compare
+            (a.loc.Loc.file, a.loc.Loc.line, a.loc.Loc.col)
+            (b.loc.Loc.file, b.loc.Loc.line, b.loc.Loc.col)
+        in
+        if c <> 0 then c
+        else
+          let c = opt String.compare a.block b.block in
+          if c <> 0 then c else String.compare a.message b.message
+
+let sort l = List.stable_sort compare_render l
+
 (* ---------------- JSON rendering (no external dependency) ----------- *)
 
 let json_escape s =

@@ -44,6 +44,17 @@ val raise_if_errors : t list -> t list
 (** Raise {!Check_error} with the error subset if any; otherwise return
     the full list (warnings included) unchanged. *)
 
+val compare_render : t -> t -> int
+(** Render-order comparison: (function, phase, code, location), then
+    block and message as tie-breakers. [None] sorts before [Some] in
+    each optional component; phases follow pipeline order. *)
+
+val sort : t list -> t list
+(** Stable sort by {!compare_render}. Drivers sort diagnostics with this
+    before text/JSON rendering so the printed order is a pure function
+    of the diagnostics themselves — byte-identical however the compile
+    was scheduled ([-j N] included). *)
+
 (** {1 Rendering} *)
 
 val pp : Format.formatter -> t -> unit

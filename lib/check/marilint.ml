@@ -220,6 +220,133 @@ let lint ?(suppress = []) (model : Model.t) : Diag.t list =
           i.Model.i_name i.Model.i_cost)
     instrs;
 
+  (* L013: selection patterns provably shadowed by an earlier one. The
+     instruction matcher tries value patterns in declaration order and the
+     first match wins, so a later pattern that an earlier one subsumes can
+     never be selected (Hjort Blindell's survey calls this the classic
+     ordered-matcher pitfall). The test is conservative and purely
+     structural — flag only when the earlier pattern provably matches
+     every IL tree the later one matches: same destination class, earlier
+     type constraint absent or identical, congruent right-hand sides with
+     operand classes equal and immediate ranges only widening, and no
+     repeated operand in the earlier pattern that the later one leaves
+     unconstrained. Exact signature duplicates are L002's department. *)
+  let pure_move (i : Model.instr) =
+    match i.Model.i_sem with
+    | [ Ast.Sassign (Ast.Lopnd 1, Ast.Eopnd n) ] -> (
+        n >= 1
+        && n <= Array.length i.Model.i_opnds
+        &&
+        match i.Model.i_opnds.(n - 1) with
+        | Model.Kreg _ | Model.Kregfix _ -> true
+        | Model.Kimm _ | Model.Klab _ -> false)
+    | _ -> false
+  in
+  (* the patterns the value matcher considers, mirroring its
+     applicability test: not a pure move, a Kreg destination, a single
+     assignment to operand 1 *)
+  let value_rhs (i : Model.instr) =
+    if
+      (not (pure_move i))
+      && Array.length i.Model.i_opnds > 0
+      && (match i.Model.i_opnds.(0) with
+         | Model.Kreg _ -> true
+         | Model.Kregfix _ | Model.Kimm _ | Model.Klab _ -> false)
+    then
+      match i.Model.i_sem with
+      | [ Ast.Sassign (Ast.Lopnd 1, rhs) ] -> Some rhs
+      | _ -> None
+    else None
+  in
+  let opnd_kind (i : Model.instr) n =
+    if n >= 1 && n <= Array.length i.Model.i_opnds then
+      Some i.Model.i_opnds.(n - 1)
+    else None
+  in
+  let kind_subsumes ka kb =
+    match (ka, kb) with
+    | Model.Kreg a, Model.Kreg b -> a = b
+    | Model.Kregfix a, Model.Kregfix b -> a = b
+    | Model.Kimm da, Model.Kimm db ->
+        (* the earlier immediate range must cover the later one *)
+        let a = model.Model.defs.(da) and b = model.Model.defs.(db) in
+        a.Model.d_flags = b.Model.d_flags
+        && a.Model.d_lo <= b.Model.d_lo
+        && a.Model.d_hi >= b.Model.d_hi
+    | _ -> false
+  in
+  let subsumes (a : Model.instr) (b : Model.instr) pa0 pb0 =
+    (* operand correspondence: an operand repeated in [a] constrains the
+       matched subtrees to bind equal, so it must map to one [b] operand
+       (itself repeated, hence equally constrained) in one role *)
+    let corr : (int, int * string) Hashtbl.t = Hashtbl.create 4 in
+    let operand m n role =
+      match Hashtbl.find_opt corr m with
+      | Some (n', role') -> n = n' && role = role'
+      | None ->
+          Hashtbl.replace corr m (n, role);
+          true
+    in
+    let rec go pa pb =
+      match (pa, pb) with
+      | Ast.Eopnd m, Ast.Eopnd n -> (
+          operand m n "plain"
+          &&
+          match (opnd_kind a m, opnd_kind b n) with
+          | Some ka, Some kb -> kind_subsumes ka kb
+          | _ -> false)
+      | Ast.Eint x, Ast.Eint y -> x = y
+      | Ast.Ebinop (oa, a1, a2), Ast.Ebinop (ob, b1, b2) ->
+          oa = ob && go a1 b1 && go a2 b2
+      | Ast.Erel (oa, a1, a2), Ast.Erel (ob, b1, b2) ->
+          oa = ob && go a1 b1 && go a2 b2
+      | Ast.Eunop (oa, a1), Ast.Eunop (ob, b1) -> oa = ob && go a1 b1
+      | Ast.Ecvt (va, a1), Ast.Ecvt (vb, b1) -> va = vb && go a1 b1
+      | Ast.Emem (_, a1), Ast.Emem (_, b1) ->
+          (* load width comes from the type constraint, checked at the
+             top level; the address grammar is congruent *)
+          go a1 b1
+      | ( Ast.Ebuiltin (na, [ Ast.Eopnd m ]),
+          Ast.Ebuiltin (nb, [ Ast.Eopnd n ]) ) ->
+          (na = "high" || na = "low") && na = nb && operand m n na
+      | _ -> false
+    in
+    go pa0 pb0
+  in
+  Array.iteri
+    (fun j (later : Model.instr) ->
+      match value_rhs later with
+      | None -> ()
+      | Some rhs_b ->
+          let shadow = ref None in
+          for k = 0 to j - 1 do
+            if !shadow = None then begin
+              let earlier = instrs.(k) in
+              if sig_of earlier <> sig_of later then
+                match value_rhs earlier with
+                | Some rhs_a
+                  when (match
+                          (earlier.Model.i_opnds.(0), later.Model.i_opnds.(0))
+                        with
+                       | Model.Kreg ca, Model.Kreg cb -> ca = cb
+                       | _ -> false)
+                       && (earlier.Model.i_type = None
+                          || earlier.Model.i_type = later.Model.i_type)
+                       && subsumes earlier later rhs_a rhs_b ->
+                    shadow := Some earlier
+                | Some _ | None -> ()
+            end
+          done;
+          (match !shadow with
+          | Some earlier ->
+              report ~severity:Diag.Warning ~loc:later.Model.i_loc
+                ~code:"L013"
+                "%s can never be selected: %s, declared earlier, matches \
+                 every tree this pattern matches (first match wins)"
+                later.Model.i_name earlier.Model.i_name
+          | None -> ()))
+    instrs;
+
   List.rev !diags
   |> List.filter (fun (d : Diag.t) -> not (List.mem d.Diag.code suppress))
 

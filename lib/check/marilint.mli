@@ -32,7 +32,15 @@
     - [L011] %allocable claiming the stack pointer, frame pointer or a
       hardwired register — the allocator could clobber the runtime model;
     - [L012] (warning) a non-escape instruction with positive cost and an
-      empty resource vector, invisible to the scoreboard.
+      empty resource vector, invisible to the scoreboard;
+    - [L013] (warning) a selection pattern provably shadowed by an
+      earlier declaration: the matcher tries value patterns in order and
+      the first match wins, so a later pattern subsumed by an earlier one
+      (same destination class, type constraint no stricter, congruent
+      semantics with immediate ranges only widening) is unreachable. The
+      subsumption test is conservative — structural congruence only, no
+      reasoning about range arithmetic — so it never flags a reachable
+      pattern; exact duplicates are [L002]'s department.
 
     Codes are stable; see DESIGN.md ("Static checking"). *)
 

@@ -1,0 +1,85 @@
+(** Translation validation: per-pass semantic-preservation checkers for
+    instruction scheduling and register allocation.
+
+    {!Mircheck} proves a single MIR is {e well-formed}; nothing there
+    proves a pass's output {e means the same thing} as its input — the
+    central correctness obligation of coupled allocation/scheduling
+    phases (Castañeda Lozano & Schulte's survey). This module closes the
+    gap with two validators that are independent of the passes they
+    check: the pass manager captures the function before every pass
+    claiming a {!Diag.Post_regalloc} or {!Diag.Post_sched}
+    post-condition and hands the (input, output) pair here afterwards.
+
+    {b Schedval} ({!Diag.Post_sched}) rebuilds the dependence DAG — type
+    1/2/3 edges with %aux latency overrides and temporal-sequence
+    protection, via the same {!Dag.build} the scheduler uses — from the
+    {e pre-schedule} code of each block, and checks the post-schedule
+    order is a legal linearization: no instruction added, dropped or
+    duplicated (modulo nops and delay-slot fills), every edge respected.
+    Delay-slot fills are covered by the same obligations: a hoisted fill
+    is legal exactly when no dependence edge out of it is violated.
+
+    {b Regval} ({!Diag.Post_regalloc}) validates allocation and spilling
+    by symbolic lockstep execution of both versions: pseudo-registers map
+    to the locations the allocator recorded ([Mir.f_locations] — a
+    physical register, with %equiv pair aliasing tracked byte by byte, or
+    a frame slot), and every def/use must be value-coherent, including
+    spill/reload round-trips through fresh slots and the temporaries of
+    local-usage (RASE/Naive) spilling. Inserted instructions must be
+    spill code; deleted instructions must be register moves that became
+    the identity.
+
+    What the validators {e assume}: block structure (labels, order,
+    successors) is the unit of comparison; memory outside allocator-
+    created spill slots is opaque; Regval trusts live-in values to be in
+    their recorded locations at block entry (the recorded map is global,
+    so per-block coherence plus the rewrite check covers the allocation);
+    and Schedval checks issue {e order}, not timing — interlocks and the
+    temporal-discipline rules are {!Mircheck}'s department (M043/M044).
+
+    Diagnostic codes are stable and live in the V001–V029 range:
+
+    Schedval — V001 instruction dropped; V002 instruction duplicated;
+    V003 non-nop instruction inserted; V004 true-dependence edge
+    violated; V005 memory-ordering edge violated; V006 anti/output (or
+    sequence-protection) edge violated; V007 temporal-dependence edge
+    violated; V008 block structure changed.
+
+    Regval — V010 block structure changed; V011 pseudo-register with no
+    recorded location; V012 operand not rewritten to its assigned
+    location; V013 instructions reordered; V014 instruction duplicated;
+    V015 non-move instruction deleted; V016 unrecognized instruction
+    inserted; V017 register does not hold the expected value at use;
+    V018 spilled value not reloaded (missing or stale reload); V019
+    register pair partially clobbered at use; V020 spill store writes an
+    incoherent value. V021–V029 are reserved. *)
+
+val capture : Mir.func -> Mir.func
+(** An independent snapshot of the function: blocks and instructions are
+    deep-copied (operand arrays included, instruction ids preserved) so
+    in-place passes cannot alias it. Shares the model and the (by then
+    irrelevant) slot-offset table. *)
+
+val validated_phase : Diag.phase -> bool
+(** Whether a validator exists for this phase — true for
+    {!Diag.Post_regalloc} (Regval) and {!Diag.Post_sched} (Schedval).
+    The pass manager skips the capture for other phases. *)
+
+val schedval :
+  Model.t -> ?func:string -> ?block:string -> before:Mir.inst list ->
+  Mir.inst list -> Diag.t list
+(** Validate one block's schedule: [schedval model ~before after] checks
+    that [after] is a legal linearization of the dependence DAG of
+    [before] (codes V001–V007). [func]/[block] only label the
+    diagnostics. Exposed at block granularity for property tests. *)
+
+val validate_func : Diag.phase -> before:Mir.func -> Mir.func -> Diag.t list
+(** Run the phase's validator over every block pair of (captured input,
+    rewritten output). Phases without a validator return []. Regval
+    reads the location map from the {e output} function's
+    [Mir.f_locations]. All findings are errors. *)
+
+val validate_prog : Diag.phase -> before:Mir.prog -> Mir.prog -> Diag.t list
+(** {!validate_func} over a whole program, pairing functions by name
+    (exposed as [Marion.validate]). Functions present on only one side
+    are reported against the phase's block-structure code. *)

@@ -32,13 +32,19 @@ val parse_c : file:string -> string -> Cast.tunit
 (** Parse mini-C source. *)
 
 val compile :
-  ?check:bool -> ?check_options:Mircheck.options -> ?jobs:int ->
-  ?dag_stats:bool -> Model.t -> Strategy.name -> file:string -> string ->
-  compiled
+  ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
+  ?jobs:int -> ?dag_stats:bool -> Model.t -> Strategy.name -> file:string ->
+  string -> compiled
 (** Front end, glue, selection, the chosen strategy, frame layout.
     [check] (default [true]) lints the description and re-verifies the
     MIR at every phase point ({!Mircheck}); invariant violations raise
     {!Diag.Check_error}, warnings land in [report.check_diags].
+
+    [validate] (default [true], [marionc --no-validate] to disable)
+    additionally runs the translation validators ({!Transval}) around
+    every scheduling and allocation pass: the pass's input is captured
+    and compared against its output for semantic preservation. Validator
+    findings are errors (codes V001–V029) and raise {!Diag.Check_error}.
 
     [jobs] (default 1, [marionc -j]) compiles functions in parallel on an
     OCaml domain pool; every observable output (assembly, report,
@@ -47,8 +53,9 @@ val compile :
     [report.profile] ([marionc --time-passes]). *)
 
 val compile_ir :
-  ?check:bool -> ?check_options:Mircheck.options -> ?jobs:int ->
-  ?dag_stats:bool -> Model.t -> Strategy.name -> Ir.prog -> compiled
+  ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
+  ?jobs:int -> ?dag_stats:bool -> Model.t -> Strategy.name -> Ir.prog ->
+  compiled
 (** Same, starting from IL. *)
 
 val run : ?config:Sim.config -> compiled -> Sim.result
@@ -56,8 +63,8 @@ val run : ?config:Sim.config -> compiled -> Sim.result
 
 val compile_and_run :
   ?config:Sim.config -> ?check:bool -> ?check_options:Mircheck.options ->
-  ?jobs:int -> ?dag_stats:bool -> Model.t -> Strategy.name -> file:string ->
-  string -> run_result
+  ?validate:bool -> ?jobs:int -> ?dag_stats:bool -> Model.t ->
+  Strategy.name -> file:string -> string -> run_result
 
 val lint : ?suppress:string list -> Model.t -> Diag.t list
 (** {!Marilint.lint}: check a machine description for internal
@@ -68,6 +75,13 @@ val check_mir :
 (** {!Mircheck.check_prog}: verify a machine program against its model at
     one phase point ([marionc --verify-mir] runs it with the hazard
     replay enabled). *)
+
+val validate :
+  Diag.phase -> before:Mir.prog -> Mir.prog -> Diag.t list
+(** {!Transval.validate_prog}: translation-validate a pass's (input,
+    output) program pair directly — Schedval for {!Diag.Post_sched},
+    Regval for {!Diag.Post_regalloc}. Capture the input with
+    {!Transval.capture} first if the pass rewrites in place. *)
 
 val interpret : file:string -> string -> Cinterp.result
 (** The reference C interpreter: the differential-testing oracle. *)

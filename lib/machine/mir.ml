@@ -41,6 +41,11 @@ type block = {
   mutable b_succs : string list;  (* labels; fallthrough included *)
 }
 
+(* where register allocation put a pseudo-register: a physical register
+   or a frame slot. Recorded per function so independent checkers
+   (translation validation) can audit the allocator's claim *)
+type location = Lreg of Model.reg | Lslot of int
+
 type func = {
   f_name : string;
   f_model : Model.t;
@@ -53,6 +58,8 @@ type func = {
   f_slot_offsets : (int, int) Hashtbl.t;  (* filled by frame layout *)
   mutable f_next_slot : int;
   mutable f_has_calls : bool;
+  mutable f_locations : (int * location) list;
+      (* pseudo-register id -> final location; filled by Regalloc *)
 }
 
 let new_slot fn ~size ~align =
@@ -78,6 +85,7 @@ let new_func model name =
     f_slot_offsets = Hashtbl.create 8;
     f_next_slot = 0;
     f_has_calls = false;
+    f_locations = [];
   }
 
 let fresh_preg ?name fn cls =

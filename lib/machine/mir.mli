@@ -42,6 +42,13 @@ type block = {
   mutable b_succs : string list;  (** labels; fallthrough included *)
 }
 
+(** Where register allocation put a pseudo-register: a physical register
+    ([Opart]s resolve to its subregisters) or a frame slot, with all
+    occurrences rewritten through spill-code temporaries. Recorded in
+    {!field-f_locations} so independent checkers (translation validation)
+    can audit the allocator's claim without re-running it. *)
+type location = Lreg of Model.reg | Lslot of int
+
 type func = {
   f_name : string;
   f_model : Model.t;
@@ -54,6 +61,10 @@ type func = {
   f_slot_offsets : (int, int) Hashtbl.t;  (** filled by frame layout *)
   mutable f_next_slot : int;
   mutable f_has_calls : bool;
+  mutable f_locations : (int * location) list;
+      (** pseudo-register id -> final location; overwritten by each
+          {!Regalloc.allocate} with the complete map for that run (spill
+          temporaries included) *)
 }
 
 type global = { g_name : string; g_align : int; g_bytes : bytes }

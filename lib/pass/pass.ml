@@ -18,15 +18,25 @@ let record_estimate st label cost = st.estimates <- (label, cost) :: st.estimate
 let fresh_stats () =
   { spilled = 0; sched_passes = 0; estimates = []; reg_budget = None }
 
-let run_pipeline ?(verify = fun _ _ -> ()) ?(record = fun _ _ -> ()) passes fn
+let run_pipeline ?(verify = fun _ _ -> ()) ?(snapshot = fun _ _ -> None)
+    ?(validate = fun _ ~before:_ _ -> ()) ?(record = fun _ _ -> ()) passes fn
     =
   let st = fresh_stats () in
   List.iter
     (fun p ->
+      let before =
+        match p.post with
+        | Some phase -> snapshot phase fn
+        | None -> None
+      in
       let t0 = Mclock.wall () in
       p.run st fn;
       record p.name (Mclock.wall () -. t0);
-      Option.iter (fun phase -> verify phase fn) p.post)
+      Option.iter
+        (fun phase ->
+          verify phase fn;
+          Option.iter (fun before -> validate phase ~before fn) before)
+        p.post)
     passes;
   st.estimates <- List.rev st.estimates;
   st

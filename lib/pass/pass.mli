@@ -51,13 +51,20 @@ val fresh_stats : unit -> stats
 
 val run_pipeline :
   ?verify:(Diag.phase -> Mir.func -> unit) ->
+  ?snapshot:(Diag.phase -> Mir.func -> Mir.func option) ->
+  ?validate:(Diag.phase -> before:Mir.func -> Mir.func -> unit) ->
   ?record:(string -> float -> unit) ->
   t list ->
   Mir.func ->
   stats
-(** Run each pass in order over the function. After a pass with
-    [post = Some phase], call [verify phase fn] (default: no
-    verification — the identity). Each pass's wall-clock seconds are
-    reported to [record name secs] (default: discard); verification time
-    is {e not} attributed to the pass — verifiers time themselves. The
-    returned stats carry [estimates] oldest-first. *)
+(** Run each pass in order over the function. Before a pass with
+    [post = Some phase], call [snapshot phase fn] (default: [None]); when
+    it returns a copy, hand [validate phase ~before fn] the (input,
+    output) pair after the pass — the translation-validation hook
+    (Transval). After the pass, call [verify phase fn] (default: no
+    verification — the identity); verification runs before validation so
+    the validators can assume well-formed MIR. Each pass's wall-clock
+    seconds are reported to [record name secs] (default: discard);
+    verification and validation time are {e not} attributed to the pass —
+    those hooks time themselves. The returned stats carry [estimates]
+    oldest-first. *)

@@ -248,7 +248,10 @@ let insert_spills (fn : Mir.func) (spills : node list) fresh_no_spill =
     (fun (u : node) ->
       let c = Model.class_exn model u.preg.Mir.p_cls in
       let id = Mir.new_slot fn ~size:c.Model.c_size ~align:c.Model.c_size in
-      Hashtbl.replace slot_of u.preg.Mir.p_id id)
+      Hashtbl.replace slot_of u.preg.Mir.p_id id;
+      (* location metadata: the pseudo now lives in this frame slot *)
+      fn.Mir.f_locations <-
+        (u.preg.Mir.p_id, Mir.Lslot id) :: fn.Mir.f_locations)
     spills;
   let rec operand_mentions p (o : Mir.operand) =
     match o with
@@ -325,6 +328,14 @@ let insert_spills (fn : Mir.func) (spills : node list) fresh_no_spill =
 
 let rewrite_colors (fn : Mir.func) nodes =
   let model = fn.Mir.f_model in
+  (* location metadata: every surviving pseudo (spill temporaries
+     included) now lives in its color *)
+  Hashtbl.iter
+    (fun pid (n : node) ->
+      match n.color with
+      | Some r -> fn.Mir.f_locations <- (pid, Mir.Lreg r) :: fn.Mir.f_locations
+      | None -> ())
+    nodes;
   let color_of p =
     match (Hashtbl.find nodes p.Mir.p_id).color with
     | Some r -> r
@@ -389,6 +400,7 @@ let rewrite_colors (fn : Mir.func) nodes =
 let allocate ?(forbid_global_pregs = false) ?max_local (fn : Mir.func) : stats =
   let no_spill = ref IntSet.empty in
   let total_spilled = ref 0 in
+  fn.Mir.f_locations <- [];
   (* the local-only baseline: force every cross-block pseudo to memory *)
   if forbid_global_pregs then begin
     let nodes = collect_pregs fn IntSet.empty in

@@ -18,6 +18,10 @@ val allocate : ?forbid_global_pregs:bool -> ?max_local:int -> Mir.func -> stats
 (** Allocate and rewrite the function in place: pseudo-registers become
     physical registers, [Opart]s resolve to subregisters, identity moves
     disappear and [Mir.f_saved] receives the callee-save registers used.
+    [Mir.f_locations] receives the complete pseudo-to-location map for
+    this run — colored pseudos (spill temporaries included) map to
+    {!Mir.Lreg}, spilled pseudos to their {!Mir.Lslot} — which is what
+    the translation validator ({!Transval}) audits.
 
     [forbid_global_pregs] spills every cross-block pseudo-register up
     front — the local-only baseline strategy ("Naive", standing in for the

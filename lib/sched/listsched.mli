@@ -37,6 +37,12 @@ type options = {
 
 val default_options : options
 
+val is_nop : Mir.inst -> bool
+(** A schedulable no-op: empty or [Snop] semantics and no operands. The
+    scheduler drops these from its input and re-inserts fresh ones for
+    unfilled delay slots; the translation validator ({!Transval}) treats
+    instructions satisfying this predicate as free to add or drop. *)
+
 type result = {
   order : Mir.inst list;  (** issue order, delay-slot nops included *)
   length : int;  (** issue span of the block in cycles *)

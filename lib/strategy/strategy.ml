@@ -22,6 +22,8 @@ type report = {
   schedule_passes : int;
   check_diags : Diag.t list;
   check_time : float;
+  validate_diags : Diag.t list;
+  validate_time : float;
   profile : Profile.t;
 }
 
@@ -150,6 +152,8 @@ type unit_result = {
   u_stats : Pass.stats;
   u_diags : Diag.t list;  (* oldest-first *)
   u_check_wall : float;
+  u_vdiags : Diag.t list;  (* oldest-first *)
+  u_validate_wall : float;
   u_times : (string * float) list;  (* oldest-first *)
   u_blocks : int;
   u_insts : int;
@@ -157,9 +161,12 @@ type unit_result = {
   u_dag_edges : int;
 }
 
-let compile_unit ~check ~check_options ~dag_stats strategy (fn : Mir.func) =
+let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
+    strategy (fn : Mir.func) =
   let diags = ref [] in
   let check_wall = ref 0.0 in
+  let vdiags = ref [] in
+  let validate_wall = ref 0.0 in
   let times = ref [] in
   let record pass secs = times := (pass, secs) :: !times in
   (* [verify phase fn] re-checks the invariants the phase just claimed to
@@ -178,6 +185,33 @@ let compile_unit ~check ~check_options ~dag_stats strategy (fn : Mir.func) =
       diags := List.rev_append ds !diags
     end
   in
+  (* [snapshot]/[validate] bracket every pass claiming a validated phase:
+     capture an independent copy of the function before the pass, then run
+     the phase's translation validator (Transval) on the (input, output)
+     pair. Errors abort the compile like verifier errors do; both halves
+     time themselves into [validate_wall]. *)
+  let snapshot phase fn =
+    if validate_on && Transval.validated_phase phase then begin
+      let t0 = Mclock.wall () in
+      let copy = Transval.capture fn in
+      let dt = Mclock.wall () -. t0 in
+      validate_wall := !validate_wall +. dt;
+      record ("validate:capture:" ^ Diag.phase_name phase) dt;
+      Some copy
+    end
+    else None
+  in
+  let validate phase ~before fn =
+    let t0 = Mclock.wall () in
+    let ds = Transval.validate_func phase ~before fn in
+    let dt = Mclock.wall () -. t0 in
+    validate_wall := !validate_wall +. dt;
+    record ("validate:" ^ Diag.phase_name phase) dt;
+    (match Diag.errors ds with
+    | [] -> ()
+    | errs -> raise (Diag.Check_error errs));
+    vdiags := List.rev_append ds !vdiags
+  in
   verify Diag.Post_select fn;
   let dag_nodes = ref 0 and dag_edges = ref 0 in
   if dag_stats then begin
@@ -190,11 +224,16 @@ let compile_unit ~check ~check_options ~dag_stats strategy (fn : Mir.func) =
       fn.Mir.f_blocks;
     record "dag-stats" (Mclock.wall () -. t0)
   end;
-  let st = Pass.run_pipeline ~verify ~record (pipeline strategy) fn in
+  let st =
+    Pass.run_pipeline ~verify ~snapshot ~validate ~record
+      (pipeline strategy) fn
+  in
   {
     u_stats = st;
     u_diags = List.rev !diags;
     u_check_wall = !check_wall;
+    u_vdiags = List.rev !vdiags;
+    u_validate_wall = !validate_wall;
     u_times = List.rev !times;
     u_blocks = count_blocks fn;
     u_insts =
@@ -205,8 +244,8 @@ let compile_unit ~check ~check_options ~dag_stats strategy (fn : Mir.func) =
     u_dag_edges = !dag_edges;
   }
 
-let apply ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
-    ?profile strategy (prog : Mir.prog) : report =
+let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
+    ?(dag_stats = false) ?profile strategy (prog : Mir.prog) : report =
   let w0 = Mclock.wall () and c0 = Mclock.cpu () in
   let prof =
     match profile with
@@ -217,7 +256,7 @@ let apply ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
      back in program order whatever the completion order *)
   let units =
     Dpool.map ~jobs
-      (compile_unit ~check ~check_options ~dag_stats strategy)
+      (compile_unit ~check ~check_options ~validate ~dag_stats strategy)
       prog.Mir.p_funcs
   in
   (* deterministic merge: fold the units in program order. Estimates are
@@ -225,8 +264,10 @@ let apply ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
      function wins, exactly as in a sequential compile; diagnostics are
      accumulated reversed and re-reversed once at the end. *)
   let spilled = ref 0 and passes = ref 0 and check_wall = ref 0.0 in
+  let validate_wall = ref 0.0 in
   let estimates = Hashtbl.create 64 in
   let diags = ref [] in
+  let vdiags = ref [] in
   List.iter
     (fun u ->
       spilled := !spilled + u.u_stats.Pass.spilled;
@@ -236,6 +277,8 @@ let apply ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
         u.u_stats.Pass.estimates;
       diags := List.rev_append u.u_diags !diags;
       check_wall := !check_wall +. u.u_check_wall;
+      vdiags := List.rev_append u.u_vdiags !vdiags;
+      validate_wall := !validate_wall +. u.u_validate_wall;
       List.iter (fun (pass, secs) -> Profile.add prof pass secs) u.u_times;
       prof.Profile.p_funcs <- prof.Profile.p_funcs + 1;
       prof.Profile.p_blocks <- prof.Profile.p_blocks + u.u_blocks;
@@ -259,6 +302,8 @@ let apply ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
     schedule_passes = !passes;
     check_diags = List.rev !diags;
     check_time = !check_wall;
+    validate_diags = List.rev !vdiags;
+    validate_time = !validate_wall;
     profile = prof;
   }
 
@@ -289,8 +334,8 @@ let lint_model model =
           lint_cache := (model, ds) :: keep;
           ds)
 
-let compile ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
-    model strategy (ir : Ir.prog) =
+let compile ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
+    ?(dag_stats = false) model strategy (ir : Ir.prog) =
   let w0 = Mclock.wall () and c0 = Mclock.cpu () in
   let prof = Profile.create ~jobs ~strategy:(to_string strategy) () in
   let lint_wall = ref 0.0 in
@@ -308,7 +353,8 @@ let compile ?(check = true) ?check_options ?(jobs = 1) ?(dag_stats = false)
   let prog = Select.select_prog model ir in
   Profile.add prof "select" (Mclock.wall () -. t_sel);
   let report =
-    apply ~check ?check_options ~jobs ~dag_stats ~profile:prof strategy prog
+    apply ~check ?check_options ~validate ~jobs ~dag_stats ~profile:prof
+      strategy prog
   in
   prof.Profile.p_wall <- Mclock.wall () -. w0;
   prof.Profile.p_cpu <- Mclock.cpu () -. c0;

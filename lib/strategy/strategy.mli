@@ -54,6 +54,15 @@ type report = {
           overhead without differencing two noisy end-to-end timings (see
           [bench] — "checker"). Under [jobs > 1] this is summed across
           domains. *)
+  validate_diags : Diag.t list;
+      (** non-error findings from the translation validators (Transval);
+          empty when validation is off. Validator errors never land here —
+          they raise {!Diag.Check_error}, exactly like verifier errors. *)
+  validate_time : float;
+      (** wall-clock seconds (monotonic) spent capturing pre-pass
+          snapshots and running the translation validators; [0.] when
+          validation is off. Summed across domains under [jobs > 1] (see
+          [bench transval]). *)
   profile : Profile.t;
       (** per-pass wall times and code-shape statistics for this compile
           ([marionc --time-passes], bench "parallel"). Timing values are
@@ -61,8 +70,9 @@ type report = {
 }
 
 val apply :
-  ?check:bool -> ?check_options:Mircheck.options -> ?jobs:int ->
-  ?dag_stats:bool -> ?profile:Profile.t -> name -> Mir.prog -> report
+  ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
+  ?jobs:int -> ?dag_stats:bool -> ?profile:Profile.t -> name -> Mir.prog ->
+  report
 (** Run the strategy's pipeline over every function of a selected
     program: scheduling and register allocation per the strategy, then
     frame layout. The program is rewritten in place and is ready for the
@@ -75,6 +85,14 @@ val apply :
     not hold and collecting warnings into [check_diags]. [check_options]
     tunes the verifier (e.g. the opt-in hazard replay behind
     [marionc --verify-mir]).
+
+    With [validate] (the default, independent of [check]), every pass
+    claiming a {!Transval.validated_phase} post-condition is bracketed by
+    translation validation: the function is captured before the pass and
+    the (input, output) pair is checked for semantic preservation —
+    Schedval after scheduling passes, Regval after allocation passes
+    (codes V001–V029). Validator errors raise {!Diag.Check_error} like
+    verifier errors; [marionc --no-validate] turns this off.
 
     [jobs] (default 1) fans the per-function compile units out over an
     OCaml domain pool. The observable outputs — rewritten program,
@@ -90,8 +108,9 @@ val apply :
     a fresh one; the caller then owns its wall/cpu totals. *)
 
 val compile :
-  ?check:bool -> ?check_options:Mircheck.options -> ?jobs:int ->
-  ?dag_stats:bool -> Model.t -> name -> Ir.prog -> Mir.prog * report
+  ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
+  ?jobs:int -> ?dag_stats:bool -> Model.t -> name -> Ir.prog ->
+  Mir.prog * report
 (** Glue + selection + {!apply}. When [check] is set this also runs the
     description linter over the model first — memoized per model behind a
     mutex, so many (possibly concurrent) compiles against one description

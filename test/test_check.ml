@@ -324,9 +324,98 @@ let test_mutation_broken_cfg () =
   in
   assert_caught "broken cfg" Diag.Post_select "M012" prog
 
+(* ------------------------------------------------------------------ *)
+(* L013: shadowed selection patterns *)
+
+(* the narrow-immediate add can never be selected: the wide form is
+   declared first, matches everything the narrow form matches (first
+   match wins), and its range strictly contains the narrow range *)
+let shadowed_desc order =
+  let wide = "%instr addi r, r, #wide (int) {$1 = $2 + $3;} [IF; EX;] (1,1,0)" in
+  let narrow =
+    "%instr addi8 r, r, #narrow (int) {$1 = $2 + $3;} [IF; EX;] (1,1,0)"
+  in
+  let first, second =
+    match order with `Wide_first -> (wide, narrow) | `Narrow_first -> (narrow, wide)
+  in
+  Printf.sprintf
+    {|declare { %%reg r[0:7] (int); %%resource IF; %%resource EX;
+               %%def wide [-32768:32767]; %%def narrow [-128:127]; }
+      cwvm { %%general (int) r; %%allocable r[1:5]; %%SP r[7] +down;
+             %%fp r[6] +down; %%retaddr r[1]; }
+      instr { %%instr nop {nop;} [IF;] (1,1,0)
+              %%instr add r, r, r (int) {$1 = $2 + $3;} [IF; EX;] (1,1,0)
+              %s
+              %s }|}
+    first second
+
+let test_l013_shadowed_pattern () =
+  let m =
+    Marion.load_target ~name:"shadow" ~file:"<shadow>"
+      (shadowed_desc `Wide_first)
+  in
+  match List.filter (fun (d : Diag.t) -> d.Diag.code = "L013") (Marion.lint m)
+  with
+  | [ d ] ->
+      check Alcotest.bool "warning severity" true
+        (d.Diag.severity = Diag.Warning);
+      check Alcotest.string "located in the description" "<shadow>"
+        d.Diag.loc.Loc.file;
+      check Alcotest.bool "names the shadowed pattern" true
+        (let msg = d.Diag.message in
+         String.length msg >= 5 && String.sub msg 0 5 = "addi8")
+  | ds ->
+      Alcotest.failf "expected exactly one L013, got [%s]"
+        (String.concat "; " (List.map Diag.to_string ds))
+
+let test_l013_narrow_first_is_reachable () =
+  (* with the narrow form first, both patterns are reachable: the wide
+     range is not contained in the narrow one *)
+  let m =
+    Marion.load_target ~name:"shadow" ~file:"<shadow>"
+      (shadowed_desc `Narrow_first)
+  in
+  check Alcotest.int "no L013" 0
+    (List.length
+       (List.filter (fun (d : Diag.t) -> d.Diag.code = "L013") (Marion.lint m)))
+
+(* ------------------------------------------------------------------ *)
+(* Diag.sort: deterministic render order *)
+
+let test_diag_sort_deterministic () =
+  let mk ?func ?phase ?block ~line code =
+    Diag.make ?func ?phase ?block ~code
+      ~loc:{ Loc.file = "<f>"; line; col = 1 }
+      "d"
+  in
+  let a = mk ~func:"a" ~phase:Diag.Post_sched ~line:4 "V001" in
+  let b = mk ~func:"b" ~phase:Diag.Post_select ~line:1 "M001" in
+  let c = mk ~func:"a" ~phase:Diag.Post_select ~block:"L0" ~line:9 "M009" in
+  let d = mk ~func:"a" ~phase:Diag.Post_sched ~line:2 "V001" in
+  let e = mk ~line:1 "L003" in
+  let sorted = Diag.sort [ a; b; c; d; e ] in
+  (* no-function lints first, then by (function, phase, code, location) *)
+  check (Alcotest.list Alcotest.string) "render order"
+    [ "L003"; "M009"; "V001@2"; "V001@4"; "M001" ]
+    (List.map
+       (fun (x : Diag.t) ->
+         if x.Diag.code = "V001" then
+           Printf.sprintf "V001@%d" x.Diag.loc.Loc.line
+         else x.Diag.code)
+       sorted);
+  (* and sorting is a fixpoint: re-sorting any permutation agrees *)
+  check Alcotest.bool "permutation-independent" true
+    (Diag.sort [ e; d; c; b; a ] = sorted)
+
 let suite =
   [
     Alcotest.test_case "builtins lint clean" `Quick test_builtins_lint_clean;
+    Alcotest.test_case "L013 shadowed pattern" `Quick
+      test_l013_shadowed_pattern;
+    Alcotest.test_case "L013 narrow-first is reachable" `Quick
+      test_l013_narrow_first_is_reachable;
+    Alcotest.test_case "Diag.sort is deterministic" `Quick
+      test_diag_sort_deterministic;
     Alcotest.test_case "broken description L003" `Quick
       test_broken_description_l003;
     Alcotest.test_case "lint suppression" `Quick test_lint_suppression;

@@ -12,6 +12,7 @@ let () =
       ("strategy", Test_strategy.suite);
       ("pass", Test_pass.suite);
       ("check", Test_check.suite);
+      ("transval", Test_transval.suite);
       ("targets", Test_targets.suite);
       ("e2e", Test_e2e.suite);
       ("props", Test_props.suite);
