@@ -864,6 +864,111 @@ let parallel () =
     (100.0 *. Profile.passes_wall p /. p.Profile.p_wall)
 
 (* ------------------------------------------------------------------ *)
+(* Compilation cache: cold vs warm over the full matrix                *)
+(* ------------------------------------------------------------------ *)
+
+let cache_bench () =
+  header "Compilation cache: cold vs warm full-matrix rebuild";
+  print_endline
+    "Livermore 1-14 x {toyp, r2000, m88000, i860} x all four strategies,";
+  print_endline
+    "compiled three times against one content-addressed cache: cold";
+  print_endline
+    "(empty cache, every cell misses and is stored), warm-memory (same";
+  print_endline
+    "cache object, every cell hits in the in-memory LRU), and warm-disk";
+  print_endline
+    "(a fresh cache object over the same directory, every cell hits the";
+  print_endline
+    "persistent layer). Each run rebuilds the IR from source — glue";
+  print_endline
+    "specializes it per model — so the warm runs still pay the front";
+  print_endline
+    "end, glue and digests; everything from selection on is replayed.";
+  print_newline ();
+  let targets =
+    [
+      ("toyp", Toyp.load ());
+      ("r2000", R2000.load ());
+      ("m88000", M88000.load ());
+      ("i860", I860.load ());
+    ]
+  in
+  let srcs = Livermore.sources () in
+  let cells =
+    List.concat_map
+      (fun (tname, model) ->
+        List.concat_map
+          (fun strat ->
+            List.map (fun (file, src) -> (tname, model, strat, file, src)) srcs)
+          Strategy.all)
+      targets
+  in
+  (* the deterministic face of one cell's compile: generated assembly and
+     every non-timing report field. Cold and warm must agree byte for
+     byte; cells that fail selection must fail identically. *)
+  let snapshot (prog, report) =
+    ( Format.asprintf "%a" Mir.pp_prog prog,
+      report.Strategy.spilled,
+      report.Strategy.schedule_passes,
+      List.sort compare
+        (Hashtbl.fold
+           (fun k v acc -> (k, v) :: acc)
+           report.Strategy.block_estimates []),
+      List.map Diag.to_string report.Strategy.check_diags,
+      List.map Diag.to_string report.Strategy.validate_diags )
+  in
+  let compile_matrix cache =
+    List.map
+      (fun (_, model, strat, file, src) ->
+        match Strategy.compile ?cache model strat (Cgen.compile ~file src) with
+        | result -> Some (snapshot result)
+        | exception (Select.No_pattern _ | Loc.Error _) -> None)
+      cells
+  in
+  let dir = "_cache_bench" in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  Printf.printf "%d compile units (%d targets x %d strategies x %d loops)\n\n"
+    (List.length cells) (List.length targets) (List.length Strategy.all)
+    (List.length srcs);
+  let cache1 = Cache.create ~dir () in
+  let cold, t_cold = time_it (fun () -> compile_matrix (Some cache1)) in
+  let c1 = Cache.counters cache1 in
+  let warm_mem, t_mem = time_it (fun () -> compile_matrix (Some cache1)) in
+  let c2 = Cache.counters cache1 in
+  let cache2 = Cache.create ~dir () in
+  let warm_disk, t_disk = time_it (fun () -> compile_matrix (Some cache2)) in
+  let c3 = Cache.counters cache2 in
+  Printf.printf "%-12s %12s %10s %8s %8s %8s\n" "run" "wall (s)" "speedup"
+    "hits" "misses" "writes";
+  Printf.printf "%-12s %12.3f %10s %8d %8d %8d\n" "cold" t_cold "1.00x"
+    c1.Cache.hits c1.Cache.misses c1.Cache.writes;
+  Printf.printf "%-12s %12.3f %9.2fx %8d %8d %8d\n" "warm-memory" t_mem
+    (t_cold /. t_mem) (c2.Cache.hits - c1.Cache.hits)
+    (c2.Cache.misses - c1.Cache.misses)
+    (c2.Cache.writes - c1.Cache.writes);
+  Printf.printf "%-12s %12.3f %9.2fx %8d %8d %8d\n" "warm-disk" t_disk
+    (t_cold /. t_disk) c3.Cache.hits c3.Cache.misses c3.Cache.writes;
+  print_newline ();
+  let identical = cold = warm_mem && cold = warm_disk in
+  Printf.printf "warm outputs bit-identical to cold: %b\n" identical;
+  Printf.printf "warm-memory speedup >= 5x: %b\n" (t_cold /. t_mem >= 5.0);
+  print_newline ();
+  print_endline
+    "Shape check: a warm rebuild must be at least 5x faster than cold —";
+  print_endline
+    "the cache replays everything downstream of the front end — and the";
+  print_endline
+    "assembly, statistics and diagnostics must not change by a byte.";
+  if not identical then begin
+    prerr_endline "bench cache: FAILED — warm outputs differ from cold";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -938,6 +1043,7 @@ let () =
   | "checker" -> checker ()
   | "transval" -> transval ()
   | "parallel" -> parallel ()
+  | "cache" -> cache_bench ()
   | "all" ->
       table1 ();
       table2 ();
@@ -950,6 +1056,6 @@ let () =
       claims ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S (table1|table2|table3|table4|claims|fig1_3|fig4_5|fig6|fig7|micro|ablation|checker|transval|parallel|all)\n"
+        "unknown experiment %S (table1|table2|table3|table4|claims|fig1_3|fig4_5|fig6|fig7|micro|ablation|checker|transval|parallel|cache|all)\n"
         other;
       exit 1

@@ -55,9 +55,55 @@ let verify_flag =
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
-let cache_flag =
+let sim_cache_flag =
   let doc = "Simulate with a direct-mapped data cache (64 lines x 16 B, 8-cycle miss)." in
-  Arg.(value & flag & info [ "cache" ] ~doc)
+  Arg.(value & flag & info [ "sim-cache" ] ~doc)
+
+(* --cache[=DIR]: the compilation cache. Bare --cache uses
+   $MARION_CACHE_DIR or ./.marion-cache; setting $MARION_CACHE turns the
+   cache on by default (same directory resolution), --no-cache wins over
+   everything. *)
+let cache_arg =
+  let doc =
+    "Enable the content-addressed compilation cache, persisted under \
+     $(docv) (default: \\$MARION_CACHE_DIR or $(b,.marion-cache)). \
+     Per-function results keyed on the IL, the machine description and \
+     the pipeline identity are replayed bit-identically instead of \
+     recompiled; any edit to source, description, strategy or checking \
+     flags invalidates. Setting \\$MARION_CACHE enables this by default."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let no_cache_flag =
+  let doc = "Disable the compilation cache (overrides --cache and \\$MARION_CACHE)." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_stats_flag =
+  let doc =
+    "Print compilation-cache statistics (hits, misses, evictions, stale \
+     rejections) to stderr after compiling, as text or JSON per \
+     --check-format."
+  in
+  Arg.(value & flag & info [ "cache-stats" ] ~doc)
+
+let default_cache_dir () =
+  match Sys.getenv_opt "MARION_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> ".marion-cache"
+
+let resolve_cache ~cache ~no_cache =
+  if no_cache then None
+  else
+    match cache with
+    | Some "" -> Some (default_cache_dir ())
+    | Some dir -> Some dir
+    | None -> (
+        match Sys.getenv_opt "MARION_CACHE" with
+        | Some v when v <> "" && v <> "0" -> Some (default_cache_dir ())
+        | _ -> None)
 
 let trace_arg =
   let doc = "Trace the first N issued instructions with their cycles." in
@@ -154,9 +200,9 @@ let time_passes_flag =
   in
   Arg.(value & flag & info [ "time-passes" ] ~doc)
 
-let main target maril strategy source run verify cache trace stats ghfill
-    jobs time_passes lint verify_mir no_check check_format no_validate
-    validate_format =
+let main target maril strategy source run verify sim_cache trace stats
+    ghfill jobs time_passes lint verify_mir no_check check_format no_validate
+    validate_format cache no_cache cache_stats =
   let validate_format = Option.value ~default:check_format validate_format in
   try
     let model =
@@ -193,11 +239,26 @@ let main target maril strategy source run verify cache trace stats ghfill
       { Mircheck.default_options with Mircheck.hazard_replay = verify_mir }
     in
     let jobs = if jobs <= 0 then Dpool.recommended_jobs () else jobs in
+    let comp_cache =
+      Option.map
+        (fun dir -> Cache.create ~dir ())
+        (resolve_cache ~cache ~no_cache)
+    in
     let compiled =
       Marion.compile ~check:(not no_check) ~check_options
-        ~validate:(not no_validate) ~jobs ~dag_stats:time_passes model strat
-        ~file:source src
+        ~validate:(not no_validate) ~jobs ~dag_stats:time_passes ?cache:comp_cache
+        model strat ~file:source src
     in
+    if cache_stats then begin
+      match comp_cache with
+      | Some c -> (
+          match check_format with
+          | `Json -> output_string stderr (Cache.stats_json c ^ "\n")
+          | `Text -> output_string stderr (Cache.stats_text c))
+      | None ->
+          prerr_endline
+            "# cache: disabled (pass --cache or set MARION_CACHE)"
+    end;
     if compiled.Marion.report.Strategy.validate_diags <> [] then
       print_diags validate_format stderr
         compiled.Marion.report.Strategy.validate_diags;
@@ -227,7 +288,7 @@ let main target maril strategy source run verify cache trace stats ghfill
         {
           Sim.default_config with
           Sim.cache =
-            (if cache then
+            (if sim_cache then
                Some { Sim.lines = 64; line_bytes = 16; miss_penalty = 8 }
              else None);
           trace_limit = trace;
@@ -239,7 +300,7 @@ let main target maril strategy source run verify cache trace stats ghfill
       print_string r.Sim.output;
       Printf.printf "# exit=%d cycles=%d instructions=%d\n" r.Sim.return_value
         r.Sim.cycles r.Sim.instructions;
-      if cache then
+      if sim_cache then
         Printf.printf "# loads=%d cache-misses=%d\n" r.Sim.loads r.Sim.cache_misses;
       if verify then begin
         let oracle = Marion.interpret ~file:source src in
@@ -304,9 +365,10 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ target_arg $ maril_arg $ strategy_arg $ source_arg
-      $ run_flag $ verify_flag $ cache_flag $ trace_arg $ stats_flag
+      $ run_flag $ verify_flag $ sim_cache_flag $ trace_arg $ stats_flag
       $ ghfill_flag $ jobs_arg $ time_passes_flag $ lint_flag
       $ verify_mir_flag $ no_check_flag $ check_format_arg
-      $ no_validate_flag $ validate_format_arg)
+      $ no_validate_flag $ validate_format_arg $ cache_arg $ no_cache_flag
+      $ cache_stats_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -33,8 +33,8 @@ val parse_c : file:string -> string -> Cast.tunit
 
 val compile :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> Model.t -> Strategy.name -> file:string ->
-  string -> compiled
+  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t -> Model.t ->
+  Strategy.name -> file:string -> string -> compiled
 (** Front end, glue, selection, the chosen strategy, frame layout.
     [check] (default [true]) lints the description and re-verifies the
     MIR at every phase point ({!Mircheck}); invariant violations raise
@@ -50,12 +50,17 @@ val compile :
     OCaml domain pool; every observable output (assembly, report,
     diagnostics) is bit-identical to the sequential path — see
     {!Strategy.apply}. [dag_stats] adds code-DAG sizes to
-    [report.profile] ([marionc --time-passes]). *)
+    [report.profile] ([marionc --time-passes]).
+
+    [cache] supplies a content-addressed compilation cache ({!Cache},
+    [marionc --cache]): per-function results keyed on the post-glue IL,
+    the model digest, and the pipeline identity are replayed
+    bit-identically instead of recompiled — see {!Strategy.compile}. *)
 
 val compile_ir :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> Model.t -> Strategy.name -> Ir.prog ->
-  compiled
+  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t -> Model.t ->
+  Strategy.name -> Ir.prog -> compiled
 (** Same, starting from IL. *)
 
 val run : ?config:Sim.config -> compiled -> Sim.result
@@ -63,8 +68,8 @@ val run : ?config:Sim.config -> compiled -> Sim.result
 
 val compile_and_run :
   ?config:Sim.config -> ?check:bool -> ?check_options:Mircheck.options ->
-  ?validate:bool -> ?jobs:int -> ?dag_stats:bool -> Model.t ->
-  Strategy.name -> file:string -> string -> run_result
+  ?validate:bool -> ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t ->
+  Model.t -> Strategy.name -> file:string -> string -> run_result
 
 val lint : ?suppress:string list -> Model.t -> Diag.t list
 (** {!Marilint.lint}: check a machine description for internal

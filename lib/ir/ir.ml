@@ -98,11 +98,13 @@ type prog = { globals : global list; funcs : func list }
 (* Construction helpers                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let next_expr_id = ref 0
+(* atomic: code selection allocates nodes (constant splitting, compare
+   lowering) and runs one function per domain under the parallel driver,
+   so a plain ref would race and could hand out colliding ids *)
+let next_expr_id = Atomic.make 0
 
 let mk ty kind =
-  incr next_expr_id;
-  { e_id = !next_expr_id; e_ty = ty; e_kind = kind }
+  { e_id = Atomic.fetch_and_add next_expr_id 1 + 1; e_ty = ty; e_kind = kind }
 
 let const ?(ty = I32) v = mk ty (Const v)
 

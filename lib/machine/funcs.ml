@@ -12,13 +12,22 @@ type expander = Mir.func -> Mir.operand array -> Mir.inst list
     pseudo-registers and instruction ids) and the bound operands of the
     escape, and returns the replacement instruction sequence. *)
 
+(* The registry is process-global and targets may register (or re-load a
+   model, re-registering) while Dpool domains are already selecting in
+   parallel — and OCaml Hashtbls are not safe under concurrent mutation.
+   Every access goes through one mutex; lookups are far off any inner
+   loop (one per escape expansion), so contention is negligible. *)
+let mutex = Mutex.create ()
+
 let table : (string, expander) Hashtbl.t = Hashtbl.create 16
 
 let key model name = model.Model.name ^ ":" ^ name
 
-let register model ~name fn = Hashtbl.replace table (key model name) fn
+let register model ~name fn =
+  Mutex.protect mutex (fun () -> Hashtbl.replace table (key model name) fn)
 
-let find model name = Hashtbl.find_opt table (key model name)
+let find model name =
+  Mutex.protect mutex (fun () -> Hashtbl.find_opt table (key model name))
 
 let expand model fn ~name ops =
   match find model name with

@@ -1,5 +1,9 @@
 external now_ns : unit -> int64 = "marion_mclock_now_ns"
 
+external thread_cpu_ns : unit -> int64 = "marion_mclock_thread_cpu_ns"
+
 let wall () = Int64.to_float (now_ns ()) /. 1e9
 
 let cpu () = Sys.time ()
+
+let thread_cpu () = Int64.to_float (thread_cpu_ns ()) /. 1e9

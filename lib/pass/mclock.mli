@@ -4,10 +4,20 @@
     meaning when several domains run at once — [Sys.time] (process CPU
     seconds) advances once per busy domain and so overstates parallel
     elapsed time by the domain count. [wall] reads the OS monotonic clock
-    (never adjusted backwards, unlike [Unix.gettimeofday]); [cpu] is kept
-    alongside because the wall/cpu pair is itself informative: cpu much
-    larger than wall means real parallelism, cpu much smaller means the
-    process was descheduled. *)
+    (never adjusted backwards, unlike [Unix.gettimeofday]).
+
+    Two CPU clocks are kept alongside, because "CPU" means two different
+    things once domains run in parallel:
+
+    - [cpu] is {e process} CPU time ([Sys.time]): the sum over all
+      domains. Right for whole-compile totals — cpu much larger than wall
+      means real parallelism, much smaller means the process was
+      descheduled — and exactly wrong for attributing time to one pass on
+      one domain, since it counts every other domain's concurrent work.
+    - [thread_cpu] is the {e calling thread}'s CPU time
+      ([CLOCK_THREAD_CPUTIME_ID]; each OCaml domain is one system
+      thread). Per-pass CPU attribution uses this, so a pass profile is
+      honest at any [-j]. *)
 
 val now_ns : unit -> int64
 (** Monotonic nanoseconds since an arbitrary epoch. *)
@@ -17,4 +27,11 @@ val wall : unit -> float
     differences are meaningful. *)
 
 val cpu : unit -> float
-(** Process CPU seconds ([Sys.time]): the sum over all domains. *)
+(** Process CPU seconds ([Sys.time]): the sum over all domains. Use for
+    whole-compile totals, never for per-pass attribution under [-j]. *)
+
+val thread_cpu_ns : unit -> int64
+(** CPU nanoseconds consumed by the calling thread (domain) only. *)
+
+val thread_cpu : unit -> float
+(** CPU seconds consumed by the calling thread (domain) only. *)

@@ -23,3 +23,23 @@ CAMLprim value marion_mclock_now_ns(value unit)
   return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
                          + (int64_t)ts.tv_nsec);
 }
+
+/* Per-thread CPU time for per-pass attribution. Sys.time is
+   process-wide: under -j N it advances once per busy domain, so a pass
+   timed with it on one domain is billed for every other domain's
+   concurrent work. CLOCK_THREAD_CPUTIME_ID charges only the calling
+   thread (each OCaml domain is one system thread). */
+CAMLprim value marion_mclock_thread_cpu_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+#elif defined(CLOCK_PROCESS_CPUTIME_ID)
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                         + (int64_t)ts.tv_nsec);
+}

@@ -19,8 +19,8 @@ let fresh_stats () =
   { spilled = 0; sched_passes = 0; estimates = []; reg_budget = None }
 
 let run_pipeline ?(verify = fun _ _ -> ()) ?(snapshot = fun _ _ -> None)
-    ?(validate = fun _ ~before:_ _ -> ()) ?(record = fun _ _ -> ()) passes fn
-    =
+    ?(validate = fun _ ~before:_ _ -> ())
+    ?(record = fun _ ~wall:_ ~cpu:_ -> ()) passes fn =
   let st = fresh_stats () in
   List.iter
     (fun p ->
@@ -29,9 +29,11 @@ let run_pipeline ?(verify = fun _ _ -> ()) ?(snapshot = fun _ _ -> None)
         | Some phase -> snapshot phase fn
         | None -> None
       in
-      let t0 = Mclock.wall () in
+      let t0 = Mclock.wall () and c0 = Mclock.thread_cpu () in
       p.run st fn;
-      record p.name (Mclock.wall () -. t0);
+      record p.name
+        ~wall:(Mclock.wall () -. t0)
+        ~cpu:(Mclock.thread_cpu () -. c0);
       Option.iter
         (fun phase ->
           verify phase fn;

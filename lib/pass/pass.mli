@@ -53,7 +53,7 @@ val run_pipeline :
   ?verify:(Diag.phase -> Mir.func -> unit) ->
   ?snapshot:(Diag.phase -> Mir.func -> Mir.func option) ->
   ?validate:(Diag.phase -> before:Mir.func -> Mir.func -> unit) ->
-  ?record:(string -> float -> unit) ->
+  ?record:(string -> wall:float -> cpu:float -> unit) ->
   t list ->
   Mir.func ->
   stats
@@ -63,8 +63,10 @@ val run_pipeline :
     output) pair after the pass — the translation-validation hook
     (Transval). After the pass, call [verify phase fn] (default: no
     verification — the identity); verification runs before validation so
-    the validators can assume well-formed MIR. Each pass's wall-clock
-    seconds are reported to [record name secs] (default: discard);
-    verification and validation time are {e not} attributed to the pass —
-    those hooks time themselves. The returned stats carry [estimates]
-    oldest-first. *)
+    the validators can assume well-formed MIR. Each pass is reported to
+    [record name ~wall ~cpu] (default: discard) with its wall-clock
+    seconds and the running domain's own CPU seconds
+    ({!Mclock.thread_cpu} — process CPU time would bill the pass for
+    every other domain's concurrent work under [-j]); verification and
+    validation time are {e not} attributed to the pass — those hooks time
+    themselves. The returned stats carry [estimates] oldest-first. *)

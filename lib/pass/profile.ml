@@ -1,6 +1,7 @@
 type entry = {
   e_name : string;
   mutable e_wall : float;
+  mutable e_cpu : float;
   mutable e_runs : int;
 }
 
@@ -17,6 +18,11 @@ type t = {
   mutable p_wall : float;
   mutable p_cpu : float;
   mutable p_entries : entry list;
+  mutable p_cache_used : bool;
+  mutable p_cache_hits : int;
+  mutable p_cache_misses : int;
+  mutable p_cache_evictions : int;
+  mutable p_cache_stale : int;
 }
 
 let create ?(jobs = 1) ~strategy () =
@@ -33,19 +39,26 @@ let create ?(jobs = 1) ~strategy () =
     p_wall = 0.0;
     p_cpu = 0.0;
     p_entries = [];
+    p_cache_used = false;
+    p_cache_hits = 0;
+    p_cache_misses = 0;
+    p_cache_evictions = 0;
+    p_cache_stale = 0;
   }
 
 (* The entry list stays in first-recorded order: a compile records in
    pipeline order and units are merged in program order, so the order is
    deterministic. Profiles hold ~a dozen entries; linear search is fine. *)
-let add t name secs =
+let add ?(cpu = 0.0) t name secs =
   match List.find_opt (fun e -> e.e_name = name) t.p_entries with
   | Some e ->
       e.e_wall <- e.e_wall +. secs;
+      e.e_cpu <- e.e_cpu +. cpu;
       e.e_runs <- e.e_runs + 1
   | None ->
       t.p_entries <-
-        t.p_entries @ [ { e_name = name; e_wall = secs; e_runs = 1 } ]
+        t.p_entries
+        @ [ { e_name = name; e_wall = secs; e_cpu = cpu; e_runs = 1 } ]
 
 let entries t = t.p_entries
 
@@ -62,9 +75,14 @@ let to_text t =
   if t.p_dag_nodes > 0 then
     Printf.bprintf buf "#   dag-nodes=%d dag-edges=%d\n" t.p_dag_nodes
       t.p_dag_edges;
+  if t.p_cache_used then
+    Printf.bprintf buf
+      "#   cache: hits=%d misses=%d evictions=%d stale=%d\n" t.p_cache_hits
+      t.p_cache_misses t.p_cache_evictions t.p_cache_stale;
   List.iter
     (fun e ->
-      Printf.bprintf buf "#   %-24s %9.6fs  x%d\n" e.e_name e.e_wall e.e_runs)
+      Printf.bprintf buf "#   %-24s %9.6fs  (cpu %9.6fs)  x%d\n" e.e_name
+        e.e_wall e.e_cpu e.e_runs)
     t.p_entries;
   Printf.bprintf buf "#   %-24s %9.6fs  (wall %.6fs, cpu %.6fs)\n"
     "total of passes" (passes_wall t) t.p_wall t.p_cpu;
@@ -80,7 +98,20 @@ let to_json t =
         [
           field "name" (str e.e_name);
           field "wall_s" (num e.e_wall);
+          field "cpu_s" (num e.e_cpu);
           field "runs" (string_of_int e.e_runs);
+        ]
+    ^ "}"
+  in
+  let cache =
+    "{"
+    ^ String.concat ","
+        [
+          field "used" (if t.p_cache_used then "true" else "false");
+          field "hits" (string_of_int t.p_cache_hits);
+          field "misses" (string_of_int t.p_cache_misses);
+          field "evictions" (string_of_int t.p_cache_evictions);
+          field "stale" (string_of_int t.p_cache_stale);
         ]
     ^ "}"
   in
@@ -98,6 +129,7 @@ let to_json t =
         field "schedule_passes" (string_of_int t.p_schedule_passes);
         field "wall_s" (num t.p_wall);
         field "cpu_s" (num t.p_cpu);
+        field "cache" cache;
         field "passes"
           ("[" ^ String.concat "," (List.map pass t.p_entries) ^ "]");
       ]

@@ -3,16 +3,23 @@
 
     One [Profile.t] is built per {!Strategy.compile} (or per standalone
     {!Strategy.apply}). Pass runners ({!Pass.run_pipeline}) and the
-    strategy driver feed it named wall-time samples — one per pass per
+    strategy driver feed it named time samples — one per pass per
     function, merged in program order so the rendered profile is
     deterministic up to timing jitter — plus aggregate shape statistics
     (functions, blocks, instructions, code-DAG sizes, spills, schedule
-    passes). Rendered as text ([marionc --time-passes]) or JSON
-    ([--check-format=json]), alongside — not inside — the Diag JSON. *)
+    passes) and, when a compilation cache is attached, its
+    hit/miss/eviction/stale counters for this compile. Rendered as text
+    ([marionc --time-passes]) or JSON ([--check-format=json]), alongside
+    — not inside — the Diag JSON. *)
 
 type entry = {
   e_name : string;  (** pass name, e.g. ["allocate"], ["verify:final"] *)
   mutable e_wall : float;  (** accumulated wall-clock seconds *)
+  mutable e_cpu : float;
+      (** accumulated {e per-thread} CPU seconds
+          ({!Mclock.thread_cpu}): only the domain that ran the pass is
+          billed, so the figure is honest at any [-j] — unlike
+          [Sys.time], which counts every domain's concurrent work *)
   mutable e_runs : int;  (** how many times the pass ran (once per fn) *)
 }
 
@@ -32,14 +39,21 @@ type t = {
                               domains — [p_cpu > p_wall] means the domain
                               pool really ran in parallel *)
   mutable p_entries : entry list;  (** first-recorded order *)
+  mutable p_cache_used : bool;
+      (** a compilation cache was attached to this compile *)
+  mutable p_cache_hits : int;  (** functions replayed from the cache *)
+  mutable p_cache_misses : int;  (** functions compiled and stored *)
+  mutable p_cache_evictions : int;  (** LRU evictions during the compile *)
+  mutable p_cache_stale : int;  (** persisted entries rejected as unusable *)
 }
 
 val create : ?jobs:int -> strategy:string -> unit -> t
 (** Fresh profile with zeroed counters; [jobs] defaults to 1. *)
 
-val add : t -> string -> float -> unit
-(** [add t name secs] accumulates one timed run of pass [name]. First
-    recording of a name fixes its position in {!val-entries}. *)
+val add : ?cpu:float -> t -> string -> float -> unit
+(** [add t name secs] accumulates one timed run of pass [name]; [cpu]
+    (default 0) is the run's per-thread CPU time. First recording of a
+    name fixes its position in {!val-entries}. *)
 
 val entries : t -> entry list
 (** Entries in first-recorded order (pipeline order for a compile, since
@@ -56,4 +70,5 @@ val to_text : t -> string
 val to_json : t -> string
 (** One JSON object:
     [{"strategy":…,"jobs":…,"funcs":…,…,"wall_s":…,"cpu_s":…,
-      "passes":[{"name":…,"wall_s":…,"runs":…},…]}]. *)
+      "cache":{"used":…,"hits":…,…},
+      "passes":[{"name":…,"wall_s":…,"cpu_s":…,"runs":…},…]}]. *)

@@ -147,14 +147,15 @@ let pipeline = function
 (* Everything one function's pipeline produced, self-contained so units
    can run on any domain and be merged deterministically in program
    order. Diagnostics and pass times are accumulated reversed (O(1)
-   consing) and re-reversed once here. *)
+   consing) and re-reversed once here. Pass times carry (wall seconds,
+   this domain's CPU seconds) — see {!Mclock.thread_cpu}. *)
 type unit_result = {
   u_stats : Pass.stats;
   u_diags : Diag.t list;  (* oldest-first *)
   u_check_wall : float;
   u_vdiags : Diag.t list;  (* oldest-first *)
   u_validate_wall : float;
-  u_times : (string * float) list;  (* oldest-first *)
+  u_times : (string * float * float) list;  (* oldest-first *)
   u_blocks : int;
   u_insts : int;
   u_dag_nodes : int;
@@ -168,17 +169,25 @@ let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
   let vdiags = ref [] in
   let validate_wall = ref 0.0 in
   let times = ref [] in
-  let record pass secs = times := (pass, secs) :: !times in
+  let record pass ~wall ~cpu = times := (pass, wall, cpu) :: !times in
+  let timed pass f =
+    let t0 = Mclock.wall () and c0 = Mclock.thread_cpu () in
+    let r = f () in
+    let dt = Mclock.wall () -. t0 in
+    record pass ~wall:dt ~cpu:(Mclock.thread_cpu () -. c0);
+    (r, dt)
+  in
   (* [verify phase fn] re-checks the invariants the phase just claimed to
      establish; errors abort the compile ({!Diag.Check_error}), warnings
      accumulate into the report. The identity when checking is off. *)
   let verify phase fn =
     if check then begin
-      let t0 = Mclock.wall () in
-      let ds = Mircheck.check_func ?options:check_options phase fn in
-      let dt = Mclock.wall () -. t0 in
+      let ds, dt =
+        timed
+          ("verify:" ^ Diag.phase_name phase)
+          (fun () -> Mircheck.check_func ?options:check_options phase fn)
+      in
       check_wall := !check_wall +. dt;
-      record ("verify:" ^ Diag.phase_name phase) dt;
       (match Diag.errors ds with
       | [] -> ()
       | errs -> raise (Diag.Check_error errs));
@@ -192,21 +201,23 @@ let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
      time themselves into [validate_wall]. *)
   let snapshot phase fn =
     if validate_on && Transval.validated_phase phase then begin
-      let t0 = Mclock.wall () in
-      let copy = Transval.capture fn in
-      let dt = Mclock.wall () -. t0 in
+      let copy, dt =
+        timed
+          ("validate:capture:" ^ Diag.phase_name phase)
+          (fun () -> Transval.capture fn)
+      in
       validate_wall := !validate_wall +. dt;
-      record ("validate:capture:" ^ Diag.phase_name phase) dt;
       Some copy
     end
     else None
   in
   let validate phase ~before fn =
-    let t0 = Mclock.wall () in
-    let ds = Transval.validate_func phase ~before fn in
-    let dt = Mclock.wall () -. t0 in
+    let ds, dt =
+      timed
+        ("validate:" ^ Diag.phase_name phase)
+        (fun () -> Transval.validate_func phase ~before fn)
+    in
     validate_wall := !validate_wall +. dt;
-    record ("validate:" ^ Diag.phase_name phase) dt;
     (match Diag.errors ds with
     | [] -> ()
     | errs -> raise (Diag.Check_error errs));
@@ -214,16 +225,15 @@ let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
   in
   verify Diag.Post_select fn;
   let dag_nodes = ref 0 and dag_edges = ref 0 in
-  if dag_stats then begin
-    let t0 = Mclock.wall () in
-    List.iter
-      (fun (b : Mir.block) ->
-        let dag = Dag.build fn.Mir.f_model b.Mir.b_insts in
-        dag_nodes := !dag_nodes + Array.length dag.Dag.insts;
-        dag_edges := !dag_edges + List.length dag.Dag.edges)
-      fn.Mir.f_blocks;
-    record "dag-stats" (Mclock.wall () -. t0)
-  end;
+  if dag_stats then
+    ignore
+      (timed "dag-stats" (fun () ->
+           List.iter
+             (fun (b : Mir.block) ->
+               let dag = Dag.build fn.Mir.f_model b.Mir.b_insts in
+               dag_nodes := !dag_nodes + Array.length dag.Dag.insts;
+               dag_edges := !dag_edges + List.length dag.Dag.edges)
+             fn.Mir.f_blocks));
   let st =
     Pass.run_pipeline ~verify ~snapshot ~validate ~record
       (pipeline strategy) fn
@@ -244,25 +254,11 @@ let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
     u_dag_edges = !dag_edges;
   }
 
-let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
-    ?(dag_stats = false) ?profile strategy (prog : Mir.prog) : report =
-  let w0 = Mclock.wall () and c0 = Mclock.cpu () in
-  let prof =
-    match profile with
-    | Some p -> p
-    | None -> Profile.create ~jobs ~strategy:(to_string strategy) ()
-  in
-  (* fan the per-function units out over the domain pool; results come
-     back in program order whatever the completion order *)
-  let units =
-    Dpool.map ~jobs
-      (compile_unit ~check ~check_options ~validate ~dag_stats strategy)
-      prog.Mir.p_funcs
-  in
-  (* deterministic merge: fold the units in program order. Estimates are
-     [Hashtbl.replace]d in recording order so a label reused by a later
-     function wins, exactly as in a sequential compile; diagnostics are
-     accumulated reversed and re-reversed once at the end. *)
+(* deterministic merge: fold the units in program order. Estimates are
+   [Hashtbl.replace]d in recording order so a label reused by a later
+   function wins, exactly as in a sequential compile; diagnostics are
+   accumulated reversed and re-reversed once at the end. *)
+let merge_units prof strategy units : report =
   let spilled = ref 0 and passes = ref 0 and check_wall = ref 0.0 in
   let validate_wall = ref 0.0 in
   let estimates = Hashtbl.create 64 in
@@ -279,7 +275,9 @@ let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
       check_wall := !check_wall +. u.u_check_wall;
       vdiags := List.rev_append u.u_vdiags !vdiags;
       validate_wall := !validate_wall +. u.u_validate_wall;
-      List.iter (fun (pass, secs) -> Profile.add prof pass secs) u.u_times;
+      List.iter
+        (fun (pass, wall, cpu) -> Profile.add ~cpu prof pass wall)
+        u.u_times;
       prof.Profile.p_funcs <- prof.Profile.p_funcs + 1;
       prof.Profile.p_blocks <- prof.Profile.p_blocks + u.u_blocks;
       prof.Profile.p_insts <- prof.Profile.p_insts + u.u_insts;
@@ -289,12 +287,6 @@ let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
   prof.Profile.p_spilled <- prof.Profile.p_spilled + !spilled;
   prof.Profile.p_schedule_passes <-
     prof.Profile.p_schedule_passes + !passes;
-  (* when called standalone, the profile's total is apply's own span; a
-     caller that passed a profile in owns the totals *)
-  if profile = None then begin
-    prof.Profile.p_wall <- Mclock.wall () -. w0;
-    prof.Profile.p_cpu <- Mclock.cpu () -. c0
-  end;
   {
     strategy;
     spilled = !spilled;
@@ -307,55 +299,203 @@ let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
     profile = prof;
   }
 
+let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
+    ?(dag_stats = false) ?profile strategy (prog : Mir.prog) : report =
+  let w0 = Mclock.wall () and c0 = Mclock.cpu () in
+  let prof =
+    match profile with
+    | Some p -> p
+    | None -> Profile.create ~jobs ~strategy:(to_string strategy) ()
+  in
+  (* fan the per-function units out over the domain pool; results come
+     back in program order whatever the completion order *)
+  let units =
+    Dpool.map ~jobs
+      (compile_unit ~check ~check_options ~validate ~dag_stats strategy)
+      prog.Mir.p_funcs
+  in
+  let report = merge_units prof strategy units in
+  (* when called standalone, the profile's total is apply's own span; a
+     caller that passed a profile in owns the totals *)
+  if profile = None then begin
+    prof.Profile.p_wall <- Mclock.wall () -. w0;
+    prof.Profile.p_cpu <- Mclock.cpu () -. c0
+  end;
+  report
+
 (* ------------------------------------------------------------------ *)
 (* Whole-program compilation                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Linting is a pure function of the machine model, and models are built
-   once and never mutated afterwards: memoize by physical identity so a
-   driver (or benchmark) compiling many programs against one description
-   lints it once, not per compile. The cache is tiny — one entry per
-   distinct live model — and mutex-guarded so parallel compiles against
-   one model still lint it exactly once. *)
+(* Linting is a pure function of the machine model: memoize by the
+   model's content digest ({!Ckey.of_model}) so a driver (or benchmark)
+   compiling many programs against one description lints it once, not
+   per compile — including when the "one" description is re-parsed into
+   a structurally equal model each time, which a physical-identity key
+   would miss forever. The cache is a tiny move-to-front LRU (hits
+   re-front their entry, so the hottest models survive the keep-7
+   truncation) and mutex-guarded so parallel compiles against one model
+   still lint it exactly once. *)
 let lint_mutex = Mutex.create ()
 
-let lint_cache : (Model.t * Diag.t list) list ref = ref []
+let lint_cache : (Ckey.t * Diag.t list) list ref = ref []
 
 let lint_model model =
+  let key = Ckey.of_model model in
   Mutex.lock lint_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock lint_mutex)
     (fun () ->
-      match List.assq_opt model !lint_cache with
-      | Some ds -> ds
+      match List.assoc_opt key !lint_cache with
+      | Some ds ->
+          lint_cache :=
+            (key, ds) :: List.filter (fun (k, _) -> k <> key) !lint_cache;
+          ds
       | None ->
           let ds = Marilint.lint model in
           let keep = List.filteri (fun i _ -> i < 7) !lint_cache in
-          lint_cache := (model, ds) :: keep;
+          lint_cache := (key, ds) :: keep;
           ds)
 
 let compile ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
-    ?(dag_stats = false) model strategy (ir : Ir.prog) =
+    ?(dag_stats = false) ?cache model strategy (ir : Ir.prog) =
   let w0 = Mclock.wall () and c0 = Mclock.cpu () in
   let prof = Profile.create ~jobs ~strategy:(to_string strategy) () in
   let lint_wall = ref 0.0 in
   let lint_warnings =
     if check then begin
-      let t0 = Mclock.wall () in
+      let t0 = Mclock.wall () and tc0 = Mclock.thread_cpu () in
       let ds = Diag.raise_if_errors (lint_model model) in
       lint_wall := Mclock.wall () -. t0;
-      Profile.add prof "lint" !lint_wall;
+      Profile.add ~cpu:(Mclock.thread_cpu () -. tc0) prof "lint" !lint_wall;
       ds
     end
     else []
   in
-  let t_sel = Mclock.wall () in
-  let prog = Select.select_prog model ir in
-  Profile.add prof "select" (Mclock.wall () -. t_sel);
-  let report =
-    apply ~check ?check_options ~validate ~jobs ~dag_stats ~profile:prof
-      strategy prog
+  (* glue rewrites the IL in place for this model, sequentially, before
+     anything is digested or fanned out: the cache key must name the
+     trees the selector will actually see *)
+  let t_glue = Mclock.wall () and c_glue = Mclock.thread_cpu () in
+  List.iter (Glue.transform_func model) ir.Ir.funcs;
+  Profile.add
+    ~cpu:(Mclock.thread_cpu () -. c_glue)
+    prof "glue"
+    (Mclock.wall () -. t_glue);
+  (* the cache key components shared by every function of this compile:
+     model digest and pipeline identity (strategy, ordered pass names,
+     every report-changing flag) *)
+  let opts = Option.value ~default:Mircheck.default_options check_options in
+  let pipeline_digest =
+    Ckey.of_pipeline ~strategy:(to_string strategy)
+      ~passes:(List.map (fun (p : Pass.t) -> p.Pass.name) (pipeline strategy))
+      ~check ~def_use:opts.Mircheck.def_use
+      ~hazard_replay:opts.Mircheck.hazard_replay ~validate ~dag_stats
   in
+  let model_digest =
+    match cache with Some _ -> Ckey.of_model model | None -> ""
+  in
+  let cache_before = Option.map Cache.counters cache in
+  (* one unit per function: selection plus the strategy pipeline, or a
+     cache replay. Units share no mutable state, so they fan out over
+     the domain pool; results merge in program order. *)
+  let compile_one (irfn : Ir.func) =
+    let select_and_run () =
+      let t0 = Mclock.wall () and tc0 = Mclock.thread_cpu () in
+      let fn = Select.select_func model irfn in
+      let w = Mclock.wall () -. t0 and c = Mclock.thread_cpu () -. tc0 in
+      let u =
+        compile_unit ~check ~check_options ~validate ~dag_stats strategy fn
+      in
+      ({ u with u_times = ("select", w, c) :: u.u_times }, fn)
+    in
+    match cache with
+    | None ->
+        let u, fn = select_and_run () in
+        (u, fn, `Off)
+    | Some c -> (
+        let key =
+          Ckey.combine [ Ckey.of_ir_func irfn; model_digest; pipeline_digest ]
+        in
+        let t0 = Mclock.wall () and tc0 = Mclock.thread_cpu () in
+        match Cache.find c model ~key with
+        | Some p ->
+            (* warm replay: the cached function and the deterministic
+               report parts, plus one synthetic profile entry marking
+               the function as served from the cache *)
+            let u =
+              {
+                u_stats = p.Cache.c_stats;
+                u_diags = p.Cache.c_diags;
+                u_check_wall = 0.0;
+                u_vdiags = p.Cache.c_vdiags;
+                u_validate_wall = 0.0;
+                u_times =
+                  [
+                    ( "cached",
+                      Mclock.wall () -. t0,
+                      Mclock.thread_cpu () -. tc0 );
+                  ];
+                u_blocks = count_blocks p.Cache.c_func;
+                u_insts = p.Cache.c_insts;
+                u_dag_nodes = p.Cache.c_dag_nodes;
+                u_dag_edges = p.Cache.c_dag_edges;
+              }
+            in
+            (u, p.Cache.c_func, `Hit)
+        | None ->
+            let u, fn = select_and_run () in
+            Cache.store c ~key
+              {
+                Cache.c_func = fn;
+                c_stats = u.u_stats;
+                c_diags = u.u_diags;
+                c_vdiags = u.u_vdiags;
+                c_insts = u.u_insts;
+                c_dag_nodes = u.u_dag_nodes;
+                c_dag_edges = u.u_dag_edges;
+              };
+            (u, fn, `Miss))
+  in
+  let results = Dpool.map ~jobs compile_one ir.Ir.funcs in
+  let prog =
+    {
+      Mir.p_model = model;
+      p_globals =
+        List.map
+          (fun (g : Ir.global) ->
+            {
+              Mir.g_name = g.Ir.gl_name;
+              g_align = g.Ir.gl_align;
+              g_bytes = g.Ir.gl_bytes;
+            })
+          ir.Ir.globals;
+      p_funcs = List.map (fun (_, fn, _) -> fn) results;
+    }
+  in
+  let report =
+    merge_units prof strategy (List.map (fun (u, _, _) -> u) results)
+  in
+  (match (cache, cache_before) with
+  | Some c, Some before ->
+      prof.Profile.p_cache_used <- true;
+      List.iter
+        (fun (_, _, outcome) ->
+          match outcome with
+          | `Hit -> prof.Profile.p_cache_hits <- prof.Profile.p_cache_hits + 1
+          | `Miss ->
+              prof.Profile.p_cache_misses <- prof.Profile.p_cache_misses + 1
+          | `Off -> ())
+        results;
+      (* evictions and staleness happen inside the cache; attribute the
+         delta over this compile (approximate if other compiles share
+         the cache concurrently) *)
+      let after = Cache.counters c in
+      prof.Profile.p_cache_evictions <-
+        prof.Profile.p_cache_evictions
+        + (after.Cache.evictions - before.Cache.evictions);
+      prof.Profile.p_cache_stale <-
+        prof.Profile.p_cache_stale + (after.Cache.stale - before.Cache.stale)
+  | _ -> ());
   prof.Profile.p_wall <- Mclock.wall () -. w0;
   prof.Profile.p_cpu <- Mclock.cpu () -. c0;
   ( prog,

@@ -109,10 +109,32 @@ val apply :
 
 val compile :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> Model.t -> name -> Ir.prog ->
-  Mir.prog * report
-(** Glue + selection + {!apply}. When [check] is set this also runs the
-    description linter over the model first — memoized per model behind a
-    mutex, so many (possibly concurrent) compiles against one description
-    lint it exactly once — and a compile against an incoherent
-    description fails before selection. *)
+  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t -> Model.t -> name ->
+  Ir.prog -> Mir.prog * report
+(** The incremental whole-program driver: lint (when [check]), glue the
+    IL to the model sequentially, then fan one unit per function out over
+    the domain pool — each unit selects and runs the strategy pipeline
+    (or replays a cache hit) — and merge in program order. When [check]
+    is set the description linter runs over the model first — memoized by
+    the model's content digest behind a mutex, so many (possibly
+    concurrent) compiles against one description lint it exactly once,
+    even when the description is re-parsed into a structurally equal
+    model each time — and a compile against an incoherent description
+    fails before selection.
+
+    [cache] supplies a content-addressed compilation cache (see
+    {!Cache}). Each function's key combines the digest of its post-glue
+    IL tree ({!Ckey.of_ir_func}), the model digest ({!Ckey.of_model}),
+    and the pipeline identity — strategy, ordered pass names, and every
+    report-changing flag ({!Ckey.of_pipeline}) — so any edit to the
+    source, the description, the strategy, or the checking flags misses
+    and recompiles. A hit returns the cached {!Mir.func} and replays the
+    deterministic report parts (spills, estimates, schedule passes,
+    diagnostics) bit-identically; its profile shows one synthetic
+    ["cached"] entry in place of the pass times, and the profile's
+    cache counters ([Profile.p_cache_hits] etc.) are filled in.
+
+    Errors re-raise for the earliest function that would have failed; a
+    function whose selection fails no longer preempts an earlier
+    function's pipeline error, since selection now runs inside the
+    per-function unit. *)

@@ -11,6 +11,7 @@ let () =
       ("sim", Test_sim.suite);
       ("strategy", Test_strategy.suite);
       ("pass", Test_pass.suite);
+      ("cache", Test_cache.suite);
       ("check", Test_check.suite);
       ("transval", Test_transval.suite);
       ("targets", Test_targets.suite);
