@@ -969,6 +969,105 @@ let cache_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Timing-engine throughput: the scheduler and the RASE estimate loop  *)
+(* ------------------------------------------------------------------ *)
+
+let timing () =
+  header "Timing engine: scheduler + RASE-estimate throughput (4 targets x Livermore)";
+  print_endline
+    "Each cell selects the Livermore kernels once, then times repeated";
+  print_endline
+    "estimate passes over the selected code: `schedule' is one list-";
+  print_endline
+    "scheduling pass per block (default options), `rase-sweep' is one";
+  print_endline
+    "pass per register budget per block — the hot path the RASE strategy";
+  print_endline
+    "re-runs on every compile. estimate_func does not mutate the MIR, so";
+  print_endline "the same selected functions serve every repetition.";
+  print_newline ();
+  let targets =
+    [
+      ("toyp", Toyp.load ());
+      ("r2000", R2000.load ());
+      ("m88000", M88000.load ());
+      ("i860", I860.load ());
+    ]
+  in
+  let srcs = Livermore.sources () in
+  (* the budget range rase-sweep explores (Strategy keeps this private:
+     the largest allocable class) *)
+  let max_budget (model : Model.t) =
+    Array.fold_left
+      (fun acc (c : Model.rclass) ->
+        max acc (List.length (Model.allocable_of_class model c.Model.c_id)))
+      1 model.Model.classes
+  in
+  let no_delay =
+    { Listsched.default_options with Listsched.fill_delay = false }
+  in
+  Printf.printf "%-8s %7s %8s %14s %14s %8s\n" "target" "blocks" "budgets"
+    "schedule b/s" "sweep b/s" "cells";
+  List.iter
+    (fun (tname, model) ->
+      let fns =
+        List.concat_map
+          (fun (file, src) ->
+            match
+              let ir = Cgen.compile ~file src in
+              List.iter (Glue.transform_func model) ir.Ir.funcs;
+              List.map (Select.select_func model) ir.Ir.funcs
+            with
+            | fns -> fns
+            | exception (Select.No_pattern _ | Loc.Error _) -> [])
+          srcs
+      in
+      let blocks =
+        List.fold_left
+          (fun acc (fn : Mir.func) -> acc + List.length fn.Mir.f_blocks)
+          0 fns
+      in
+      let budgets = max_budget model in
+      let sched_reps = 20 in
+      let _, t_sched =
+        time_it (fun () ->
+            for _ = 1 to sched_reps do
+              List.iter
+                (fun fn -> ignore (Listsched.estimate_func ~options:no_delay fn))
+                fns
+            done)
+      in
+      let sweep_reps = 2 in
+      let _, t_sweep =
+        time_it (fun () ->
+            for _ = 1 to sweep_reps do
+              List.iter
+                (fun fn ->
+                  for n = 1 to budgets do
+                    let options =
+                      { no_delay with Listsched.reg_limit = Listsched.Fixed n }
+                    in
+                    ignore (Listsched.estimate_func ~options fn)
+                  done)
+                fns
+            done)
+      in
+      let per_sec reps passes t =
+        if t <= 0.0 then 0.0 else float_of_int (reps * passes) /. t
+      in
+      Printf.printf "%-8s %7d %8d %14.0f %14.0f %8d\n" tname blocks budgets
+        (per_sec sched_reps blocks t_sched)
+        (per_sec sweep_reps (blocks * budgets) t_sweep)
+        (List.length fns))
+    targets;
+  print_newline ();
+  print_endline
+    "Shape check: `sweep b/s' is the number RASE compiles are bound by;";
+  print_endline
+    "EXPERIMENTS.md records it before and after the unified timing engine";
+  print_endline "(the refactor must not make it worse)."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1044,6 +1143,7 @@ let () =
   | "transval" -> transval ()
   | "parallel" -> parallel ()
   | "cache" -> cache_bench ()
+  | "timing" -> timing ()
   | "all" ->
       table1 ();
       table2 ();
@@ -1056,6 +1156,6 @@ let () =
       claims ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S (table1|table2|table3|table4|claims|fig1_3|fig4_5|fig6|fig7|micro|ablation|checker|transval|parallel|cache|all)\n"
+        "unknown experiment %S (table1|table2|table3|table4|claims|fig1_3|fig4_5|fig6|fig7|micro|ablation|checker|transval|parallel|cache|timing|all)\n"
         other;
       exit 1

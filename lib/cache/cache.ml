@@ -163,8 +163,15 @@ let insert_locked t key blob =
 
 let magic = "MARION-CACHE"
 
+(* Disk-entry layout revision: bumped whenever the Marshal shape of a
+   persisted entry changes without affecting key derivation (kept out of
+   Ckey.format_version, which is hashed into the keys themselves).
+   rev 2: Pass.stats grew scoreboard probe/conflict/reserve counters. *)
+let entry_rev = 2
+
 let version_line =
-  Printf.sprintf "format %d marshal %s" Ckey.format_version Sys.ocaml_version
+  Printf.sprintf "format %d.%d marshal %s" Ckey.format_version entry_rev
+    Sys.ocaml_version
 
 let entry_path dir key = Filename.concat dir (Ckey.to_hex key ^ ".mc")
 

@@ -21,14 +21,9 @@ let at_least phase p = rank phase >= rank p
 (* ------------------------------------------------------------------ *)
 (* Model helpers (guarded: the verifier must survive malformed input) *)
 
-let class_valid (model : Model.t) cid =
-  cid >= 0 && cid < Array.length model.Model.classes
+let class_valid = Locs.class_valid
 
-let reg_valid model (r : Model.reg) =
-  class_valid model r.Model.cls
-  &&
-  let c = Model.class_exn model r.Model.cls in
-  r.Model.idx >= c.Model.c_lo && r.Model.idx <= c.Model.c_hi
+let reg_valid = Locs.reg_valid
 
 let class_name model cid =
   if class_valid model cid then (Model.class_exn model cid).Model.c_name
@@ -38,67 +33,12 @@ let reg_name model (r : Model.reg) =
   if reg_valid model r then Format.asprintf "%a" (Model.pp_reg model) r
   else Printf.sprintf "%s[%d]" (class_name model r.Model.cls) r.Model.idx
 
-(* the single register of a named (usually temporal) single-register
-   class, as %wname/%rname facts denote it *)
-let named_reg model cid =
-  let c = Model.class_exn model cid in
-  { Model.cls = cid; idx = c.Model.c_lo }
-
-(* the clock of a temporal register, if it is one *)
-let temporal_clock model (r : Model.reg) =
-  if not (class_valid model r.Model.cls) then None
-  else
-    let c = Model.class_exn model r.Model.cls in
-    if c.Model.c_temporal then c.Model.c_clock else None
-
 let preg_name (p : Mir.preg) =
   match p.Mir.p_name with
   | Some n -> Printf.sprintf "%%%d(%s)" p.Mir.p_id n
   | None -> Printf.sprintf "%%%d" p.Mir.p_id
 
 let is_term (op : Model.instr) = op.Model.i_branch && not op.Model.i_call
-
-(* producer latency for a concrete pair, %aux overrides included
-   (paper 3.3): operand condition compares bound operands *)
-let dep_latency model (src : Mir.inst) (dst : Mir.inst) =
-  let opnd_eq a b =
-    a >= 0
-    && a < Array.length src.Mir.n_ops
-    && b >= 0
-    && b < Array.length dst.Mir.n_ops
-    && src.Mir.n_ops.(a) = dst.Mir.n_ops.(b)
-  in
-  match
-    Model.aux_latency model ~first:src.Mir.n_op ~second:dst.Mir.n_op ~opnd_eq
-  with
-  | Some l -> l
-  | None -> src.Mir.n_op.Model.i_latency
-
-(* ------------------------------------------------------------------ *)
-(* storage locations, for the def-use and replay analyses *)
-
-type rloc = Lp of int | Lh of Model.reg
-
-let rlocs_overlap model a b =
-  match (a, b) with
-  | Lp x, Lp y -> x = y
-  | Lh x, Lh y ->
-      reg_valid model x && reg_valid model y && Model.regs_overlap model x y
-  | Lp _, Lh _ | Lh _, Lp _ -> false
-
-let read_locs model (i : Mir.inst) =
-  List.map
-    (function `Preg p -> Lp p.Mir.p_id | `Phys h -> Lh h)
-    (Mir.inst_uses i)
-  @ List.map (fun h -> Lh h) i.Mir.n_xuse
-  @ List.map (fun c -> Lh (named_reg model c)) i.Mir.n_op.Model.i_rnames
-
-let write_locs model (i : Mir.inst) =
-  List.map
-    (function `Preg p -> Lp p.Mir.p_id | `Phys h -> Lh h)
-    (Mir.inst_defs i)
-  @ List.map (fun h -> Lh h) i.Mir.n_xdef
-  @ List.map (fun c -> Lh (named_reg model c)) i.Mir.n_op.Model.i_wnames
 
 (* ------------------------------------------------------------------ *)
 (* definitely-assigned dataflow (M031) *)
@@ -176,7 +116,7 @@ let add_inst_defs ks model set (i : Mir.inst) =
     i.Mir.n_op.Model.i_writes;
   List.iter (set_reg ks model set) i.Mir.n_xdef;
   List.iter
-    (fun c -> set_reg ks model set (named_reg model c))
+    (fun c -> set_reg ks model set (Locs.named_reg model c))
     i.Mir.n_op.Model.i_wnames
 
 (* uses to check: explicit register operands and implicit xuses.
@@ -189,7 +129,7 @@ let iter_unassigned_uses ks model set ~missing (i : Mir.inst) =
   let phys r =
     if
       reg_valid model r
-      && (match temporal_clock model r with Some _ -> false | None -> true)
+      && (match Locs.temporal_clock model r with Some _ -> false | None -> true)
       && not (reg_assigned ks model set r)
     then missing (`Phys r)
   in
@@ -208,25 +148,6 @@ let iter_unassigned_uses ks model set ~missing (i : Mir.inst) =
 let use_name model = function
   | `Preg p -> preg_name p
   | `Phys r -> reg_name model r
-
-(* ------------------------------------------------------------------ *)
-(* busy-resource composite for the hazard replay, indexed by cycle *)
-
-type busy = { mutable table : Bitset.t array; nres : int }
-
-let busy_make nres =
-  { table = Array.init 64 (fun _ -> Bitset.create nres); nres }
-
-let busy_get b c =
-  let n = Array.length b.table in
-  if c >= n then begin
-    let bigger =
-      Array.init (max (c + 1) (2 * n)) (fun _ -> Bitset.create b.nres)
-    in
-    Array.blit b.table 0 bigger 0 n;
-    b.table <- bigger
-  end;
-  b.table.(c)
 
 (* ------------------------------------------------------------------ *)
 
@@ -449,72 +370,47 @@ let check_func ?(options = default_options) phase (fn : Mir.func) :
      edge that the next read of that latch closes. While an edge on
      clock k is open, no other instruction affecting k may appear
      (Rule 1), and no read may name a latch never launched here. *)
-  let has_temporal =
-    Array.exists (fun (c : Model.rclass) -> c.Model.c_temporal) model.Model.classes
-  in
   let check_temporal (b : Mir.block) =
     let block = b.Mir.b_label in
-    let temporal locs =
-      List.filter_map
-        (function
-          | Lp _ -> None
-          | Lh r -> (
-              match temporal_clock model r with
-              | Some k -> Some (k, r)
-              | None -> None))
-        locs
-    in
-    (* open launch-to-catch edges: clock, latch, launching instruction *)
-    let open_edges : (int * Model.reg * string) list ref = ref [] in
+    let tw = Temporal.create model in
     List.iter
       (fun (i : Mir.inst) ->
         let iname = i.Mir.n_op.Model.i_name in
         let loc = i.Mir.n_op.Model.i_loc in
-        let reads = temporal (read_locs model i)
-        and writes = temporal (write_locs model i) in
-        (* reads catch their latch, closing the edge *)
+        let reads = Temporal.latches model (Locs.reads model i)
+        and writes = Temporal.latches model (Locs.writes model i) in
+        (* reads catch their latch, closing the window *)
         List.iter
           (fun (_, r) ->
-            let caught, rest =
-              List.partition
-                (fun (_, l, _) -> Model.regs_overlap model l r)
-                !open_edges
-            in
-            if caught = [] then
+            if Temporal.catch tw r = [] then
               report ~loc ~block ~code:"M044"
                 "%s reads temporal latch %s, which no instruction in \
                  this block has launched"
-                iname (reg_name model r)
-            else open_edges := rest)
+                iname (reg_name model r))
           reads;
-        (* Rule 1: with an edge still open on clock k, only its catch may
+        (* Rule 1: with a window still open on clock k, only its catch may
            advance k -- and the catches just ran above *)
         (match i.Mir.n_op.Model.i_affects with
         | Some k -> (
-            match
-              List.find_opt (fun (k', _, _) -> k' = k) !open_edges
-            with
-            | Some (_, latch, launcher) ->
+            match Temporal.blocking tw ~clock:k with
+            | Some w ->
                 report ~loc ~block ~code:"M043"
                   "%s advances clock %s while %s launched into latch %s \
                    still awaits its catch"
                   iname
                   model.Model.clocks.(k)
-                  launcher (reg_name model latch)
+                  w.Temporal.w_launcher
+                  (reg_name model w.Temporal.w_latch)
             | None -> ())
         | None -> ());
-        (* writes open a fresh edge, superseding any stale one *)
+        (* writes open a fresh window, superseding any stale one *)
         List.iter
-          (fun (k, r) ->
-            open_edges :=
-              (k, r, iname)
-              :: List.filter
-                   (fun (_, l, _) -> not (Model.regs_overlap model l r))
-                   !open_edges)
+          (fun (k, r) -> Temporal.launch tw ~clock:k r ~launcher:iname)
           writes)
       b.Mir.b_insts
   in
-  if has_temporal then List.iter check_temporal fn.Mir.f_blocks;
+  if Temporal.has_temporal model then
+    List.iter check_temporal fn.Mir.f_blocks;
 
   (* ---------------- def-before-use (M031) ---------------- *)
   (if options.def_use then
@@ -632,12 +528,13 @@ let check_func ?(options = default_options) phase (fn : Mir.func) :
 
   (* ---------------- hazard replay (M045, opt-in) ---------------- *)
   (if options.hazard_replay && at_least phase Diag.Post_sched then
-     let nres = Array.length model.Model.resources in
+     let lat = Latency.for_model model in
+     let busy = Scoreboard.create model in
      List.iter
        (fun (b : Mir.block) ->
-         let busy = busy_make nres in
+         Scoreboard.reset busy;
          (* newest-first writer records: location, producer, issue cycle *)
-         let writers : (rloc * (Mir.inst * int)) list ref = ref [] in
+         let writers : (Locs.t * (Mir.inst * int)) list ref = ref [] in
          let prev = ref (-1) in
          let stalls = ref 0 in
          List.iter
@@ -647,38 +544,23 @@ let check_func ?(options = default_options) phase (fn : Mir.func) :
                  (fun acc l ->
                    match
                      List.find_opt
-                       (fun (wl, _) -> rlocs_overlap model l wl)
+                       (fun (wl, _) -> Locs.overlap model l wl)
                        !writers
                    with
-                   | Some (_, (w, wc)) ->
-                       max acc (wc + dep_latency model w i)
+                   | Some (_, (w, wc)) -> max acc (wc + Latency.dep lat w i)
                    | None -> acc)
-                 0 (read_locs model i)
+                 0 (Locs.reads model i)
              in
              let base = max ready (!prev + 1) in
              let rvec = i.Mir.n_op.Model.i_rvec in
-             let fits c =
-               let ok = ref true in
-               Array.iteri
-                 (fun j req ->
-                   if
-                     !ok
-                     && not (Bitset.inter_empty (busy_get busy (c + j)) req)
-                   then ok := false)
-                 rvec;
-               !ok
-             in
              let c = ref base in
-             while not (fits !c) do
+             while Scoreboard.conflict busy ~cycle:!c rvec do
                incr c
              done;
              stalls := !stalls + (!c - base);
-             Array.iteri
-               (fun j req ->
-                 Bitset.union_into ~dst:(busy_get busy (!c + j)) req)
-               rvec;
+             Scoreboard.reserve busy ~cycle:!c rvec;
              writers :=
-               List.map (fun l -> (l, (i, !c))) (write_locs model i)
+               List.map (fun l -> (l, (i, !c))) (Locs.writes model i)
                @ !writers;
              prev := !c)
            b.Mir.b_insts;

@@ -242,9 +242,6 @@ let regval_func ~before (after : Mir.func) =
     !tag_ctr
   in
   let fp = model.Model.cwvm.Model.v_fp in
-  let named_reg cid =
-    { Model.cls = cid; idx = (Model.class_exn model cid).Model.c_lo }
-  in
   let check_block (b_in : Mir.block) (b_out : Mir.block) =
     let block = b_in.Mir.b_label in
     let report ~code fmt = report ~block ~code fmt in
@@ -489,7 +486,9 @@ let regval_func ~before (after : Mir.func) =
           write_bytes bytes_out (Model.reg_bytes model r) t
         in
         List.iter clobber i_in.Mir.n_xdef;
-        List.iter (fun cid -> clobber (named_reg cid)) op.Model.i_wnames
+        List.iter
+          (fun cid -> clobber (Locs.named_reg model cid))
+          op.Model.i_wnames
       end
     in
     let spill_slot_of (i : Mir.inst) =

@@ -3,6 +3,9 @@ type stats = {
   mutable sched_passes : int;
   mutable estimates : (string * int) list;
   mutable reg_budget : int option;
+  mutable sb_probes : int;
+  mutable sb_conflicts : int;
+  mutable sb_reserves : int;
 }
 
 type t = {
@@ -16,7 +19,8 @@ let v ?post name run = { name; post; run }
 let record_estimate st label cost = st.estimates <- (label, cost) :: st.estimates
 
 let fresh_stats () =
-  { spilled = 0; sched_passes = 0; estimates = []; reg_budget = None }
+  { spilled = 0; sched_passes = 0; estimates = []; reg_budget = None;
+    sb_probes = 0; sb_conflicts = 0; sb_reserves = 0 }
 
 let run_pipeline ?(verify = fun _ _ -> ()) ?(snapshot = fun _ _ -> None)
     ?(validate = fun _ ~before:_ _ -> ())

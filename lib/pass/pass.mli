@@ -30,6 +30,11 @@ type stats = {
       (** the register budget one pass chooses for a later one (RASE's
           sweep communicating the schedule's register appetite to the
           prepass scheduler and thence the allocator) *)
+  mutable sb_probes : int;
+      (** scoreboard resource probes issued by this function's
+          scheduling passes ({!Scoreboard.stats}) *)
+  mutable sb_conflicts : int;  (** probes that found a resource busy *)
+  mutable sb_reserves : int;  (** scoreboard reservations (issues) *)
 }
 
 type t = {

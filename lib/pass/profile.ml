@@ -15,6 +15,9 @@ type t = {
   mutable p_dag_edges : int;
   mutable p_spilled : int;
   mutable p_schedule_passes : int;
+  mutable p_sb_probes : int;
+  mutable p_sb_conflicts : int;
+  mutable p_sb_reserves : int;
   mutable p_wall : float;
   mutable p_cpu : float;
   mutable p_entries : entry list;
@@ -36,6 +39,9 @@ let create ?(jobs = 1) ~strategy () =
     p_dag_edges = 0;
     p_spilled = 0;
     p_schedule_passes = 0;
+    p_sb_probes = 0;
+    p_sb_conflicts = 0;
+    p_sb_reserves = 0;
     p_wall = 0.0;
     p_cpu = 0.0;
     p_entries = [];
@@ -75,6 +81,10 @@ let to_text t =
   if t.p_dag_nodes > 0 then
     Printf.bprintf buf "#   dag-nodes=%d dag-edges=%d\n" t.p_dag_nodes
       t.p_dag_edges;
+  if t.p_sb_probes > 0 then
+    Printf.bprintf buf
+      "#   scoreboard: probes=%d conflicts=%d reserves=%d\n" t.p_sb_probes
+      t.p_sb_conflicts t.p_sb_reserves;
   if t.p_cache_used then
     Printf.bprintf buf
       "#   cache: hits=%d misses=%d evictions=%d stale=%d\n" t.p_cache_hits
@@ -127,6 +137,9 @@ let to_json t =
         field "dag_edges" (string_of_int t.p_dag_edges);
         field "spilled" (string_of_int t.p_spilled);
         field "schedule_passes" (string_of_int t.p_schedule_passes);
+        field "sb_probes" (string_of_int t.p_sb_probes);
+        field "sb_conflicts" (string_of_int t.p_sb_conflicts);
+        field "sb_reserves" (string_of_int t.p_sb_reserves);
         field "wall_s" (num t.p_wall);
         field "cpu_s" (num t.p_cpu);
         field "cache" cache;

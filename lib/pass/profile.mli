@@ -34,6 +34,10 @@ type t = {
   mutable p_dag_edges : int;
   mutable p_spilled : int;
   mutable p_schedule_passes : int;
+  mutable p_sb_probes : int;
+      (** scoreboard resource probes across all scheduling passes *)
+  mutable p_sb_conflicts : int;  (** probes that found a resource busy *)
+  mutable p_sb_reserves : int;  (** scoreboard reservations (issues) *)
   mutable p_wall : float;  (** whole-compile wall seconds (monotonic) *)
   mutable p_cpu : float;  (** whole-compile CPU seconds, summed over
                               domains — [p_cpu > p_wall] means the domain

@@ -9,73 +9,12 @@ type t = {
   edges : edge list;
 }
 
-(* a storage location: a pseudo-register or a physical register *)
-type loc = Lp of int | Lh of Model.reg
-
-let locs_overlap model a b =
-  match (a, b) with
-  | Lp x, Lp y -> x = y
-  | Lh x, Lh y -> Model.regs_overlap model x y
-  | Lp _, Lh _ | Lh _, Lp _ -> false
-
-(* [loc_covers w l]: writing [w] fully overwrites [l]. Only then may a
-   previous reader/writer record of [l] be dropped — with %equiv register
-   pairs a write can overlap a record only partially (writing r2 does not
-   supersede a use of the d1 pair), and dropping it would lose anti- and
-   output-dependences on the untouched half. *)
-let loc_covers model w l =
-  match (w, l) with
-  | Lp x, Lp y -> x = y
-  | Lh x, Lh y ->
-      let bx, ox, sx = Model.reg_bytes model x in
-      let by, oy, sy = Model.reg_bytes model y in
-      bx = by && ox <= oy && oy + sy <= ox + sx
-  | Lp _, Lh _ | Lh _, Lp _ -> false
-
-(* the single register of a named (usually temporal) single-register class *)
-let named_reg model cid =
-  let c = Model.class_exn model cid in
-  { Model.cls = cid; idx = c.Model.c_lo }
-
-let inst_read_locs model (i : Mir.inst) =
-  List.map (fun r -> match r with `Preg p -> Lp p.Mir.p_id | `Phys h -> Lh h)
-    (Mir.inst_uses i)
-  @ List.map (fun h -> Lh h) i.Mir.n_xuse
-  @ List.map (fun c -> Lh (named_reg model c)) i.Mir.n_op.Model.i_rnames
-
-let inst_write_locs model (i : Mir.inst) =
-  List.map (fun r -> match r with `Preg p -> Lp p.Mir.p_id | `Phys h -> Lh h)
-    (Mir.inst_defs i)
-  @ List.map (fun h -> Lh h) i.Mir.n_xdef
-  @ List.map (fun c -> Lh (named_reg model c)) i.Mir.n_op.Model.i_wnames
-
-let is_temporal_loc model = function
-  | Lp _ -> None
-  | Lh r ->
-      let c = Model.class_exn model r.Model.cls in
-      if c.Model.c_temporal then c.Model.c_clock else None
-
-(* does writing location [l] by instruction [src] reach a read by [dst]
-   with an %aux latency override? operand condition: operand a of the
-   first equals operand b of the second *)
-let dep_latency model (src : Mir.inst) (dst : Mir.inst) =
-  let opnd_eq a b =
-    a >= 0
-    && a < Array.length src.Mir.n_ops
-    && b >= 0
-    && b < Array.length dst.Mir.n_ops
-    && src.Mir.n_ops.(a) = dst.Mir.n_ops.(b)
-  in
-  match
-    Model.aux_latency model ~first:src.Mir.n_op ~second:dst.Mir.n_op ~opnd_eq
-  with
-  | Some l -> l
-  | None -> src.Mir.n_op.Model.i_latency
-
 let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
   let dep_latency =
-    if aux then dep_latency
-    else fun _ src _ -> src.Mir.n_op.Model.i_latency
+    if aux then
+      let lat = Latency.for_model model in
+      fun src dst -> Latency.dep lat src dst
+    else fun (src : Mir.inst) _ -> src.Mir.n_op.Model.i_latency
   in
   let arr = Array.of_list insts in
   let n = Array.length arr in
@@ -106,15 +45,15 @@ let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
             :: !edges
   in
   (* current writers (loc, node) and readers since their last write *)
-  let writers : (loc * int) list ref = ref [] in
-  let readers : (loc * int) list ref = ref [] in
+  let writers : (Locs.t * int) list ref = ref [] in
+  let readers : (Locs.t * int) list ref = ref [] in
   let last_store = ref None in
   let mem_readers = ref [] in
   let last_call = ref None in
   for i = 0 to n - 1 do
     let inst = arr.(i) in
-    let reads = inst_read_locs model inst in
-    let writes = inst_write_locs model inst in
+    let reads = Locs.reads model inst in
+    let writes = Locs.writes model inst in
     (* calls are scheduling barriers: everything before stays before,
        everything after stays after *)
     if inst.Mir.n_op.Model.i_call then begin
@@ -133,13 +72,13 @@ let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
       (fun l ->
         List.iter
           (fun (wl, wi) ->
-            if locs_overlap model l wl then
+            if Locs.overlap model l wl then
               let kind =
-                match is_temporal_loc model wl with
+                match Locs.clock model wl with
                 | Some k -> Temporal k
                 | None -> True
               in
-              add_edge wi i (dep_latency model arr.(wi) inst) kind)
+              add_edge wi i (dep_latency arr.(wi) inst) kind)
           !writers)
       reads;
     (* type 3: anti (read then write) and output (write then write) *)
@@ -148,11 +87,11 @@ let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
         (fun l ->
           List.iter
             (fun (rl, ri) ->
-              if locs_overlap model l rl then add_edge ri i 0 Anti)
+              if Locs.overlap model l rl then add_edge ri i 0 Anti)
             !readers;
           List.iter
             (fun (wl, wi) ->
-              if locs_overlap model l wl then add_edge wi i 1 Anti)
+              if Locs.overlap model l wl then add_edge wi i 1 Anti)
             !writers)
         writes;
     (* type 2: memory ordering; calls are memory barriers *)
@@ -172,12 +111,12 @@ let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
        covers it completely *)
     readers :=
       List.filter
-        (fun (rl, _) -> not (List.exists (fun w -> loc_covers model w rl) writes))
+        (fun (rl, _) -> not (List.exists (fun w -> Locs.covers model w rl) writes))
         !readers
       @ List.map (fun l -> (l, i)) reads;
     writers :=
       List.filter
-        (fun (wl, _) -> not (List.exists (fun w -> loc_covers model w wl) writes))
+        (fun (wl, _) -> not (List.exists (fun w -> Locs.covers model w wl) writes))
         !writers
       @ List.map (fun l -> (l, i)) writes
   done;

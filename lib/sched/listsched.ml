@@ -30,20 +30,6 @@ let is_nop (i : Mir.inst) =
 
 type result = { order : Mir.inst list; length : int }
 
-(* busy resource composite, indexed by absolute cycle *)
-type busy = { mutable table : Bitset.t array; nres : int }
-
-let busy_make nres = { table = Array.init 64 (fun _ -> Bitset.create nres); nres }
-
-let busy_get b c =
-  let n = Array.length b.table in
-  if c >= n then begin
-    let bigger = Array.init (max (c + 1) (2 * n)) (fun _ -> Bitset.create b.nres) in
-    Array.blit b.table 0 bigger 0 n;
-    b.table <- bigger
-  end;
-  b.table.(c)
-
 let pregs_of_inst which (i : Mir.inst) =
   List.filter_map
     (fun pos ->
@@ -52,7 +38,7 @@ let pregs_of_inst which (i : Mir.inst) =
       | Some (`Phys _) | None -> None)
     which
 
-let schedule_block ?(options = default_options) (fn : Mir.func)
+let schedule_block ?(options = default_options) ?sb_stats (fn : Mir.func)
     (insts : Mir.inst list) : result =
   let model = fn.Mir.f_model in
   match List.filter (fun i -> not (is_nop i)) insts with
@@ -70,8 +56,7 @@ let schedule_block ?(options = default_options) (fn : Mir.func)
       in
       let cycle_of = Array.make n (-1) in
       let scheduled = Array.make n false in
-      let nres = Array.length model.Model.resources in
-      let busy = busy_make nres in
+      let busy = Scoreboard.create ?stats:sb_stats model in
       let order = ref [] in
       let remaining = ref n in
       let cycle = ref 0 in
@@ -167,13 +152,7 @@ let schedule_block ?(options = default_options) (fn : Mir.func)
       in
       let resources_free i =
         let rvec = dag.Dag.insts.(i).Mir.n_op.Model.i_rvec in
-        let ok = ref true in
-        Array.iteri
-          (fun c req ->
-            if !ok && not (Bitset.inter_empty (busy_get busy (!cycle + c)) req)
-            then ok := false)
-          rvec;
-        !ok
+        not (Scoreboard.conflict busy ~cycle:!cycle rvec)
       in
       let class_ok i =
         match (dag.Dag.insts.(i).Mir.n_op.Model.i_class, !cur_class) with
@@ -182,13 +161,10 @@ let schedule_block ?(options = default_options) (fn : Mir.func)
         | Some k, Some cur -> not (Bitset.inter_empty cur k)
       in
       let temporal_ok i =
-        let inst = dag.Dag.insts.(i) in
-        match inst.Mir.n_op.Model.i_affects with
+        match dag.Dag.insts.(i).Mir.n_op.Model.i_affects with
         | None -> true
-        | Some k ->
-            List.for_all
-              (fun (pk, dst) -> pk <> k || dst = i)
-              (pending_clocks ())
+        | Some _ as affects ->
+            Temporal.rule1_ok ~affects ~pending:(pending_clocks ()) ~self:i
       in
       let pressure_ok relaxed i =
         match options.reg_limit with
@@ -250,9 +226,7 @@ let schedule_block ?(options = default_options) (fn : Mir.func)
             decr remaining;
             order := i :: !order;
             let inst = dag.Dag.insts.(i) in
-            Array.iteri
-              (fun c req -> Bitset.union_into ~dst:(busy_get busy (!cycle + c)) req)
-              inst.Mir.n_op.Model.i_rvec;
+            Scoreboard.reserve busy ~cycle:!cycle inst.Mir.n_op.Model.i_rvec;
             (match inst.Mir.n_op.Model.i_class with
             | Some k -> (
                 match !cur_class with
@@ -282,17 +256,17 @@ let schedule_block ?(options = default_options) (fn : Mir.func)
       end
       else { order = final_insts; length = max_cycle + 1 }
 
-let schedule_func ?options (fn : Mir.func) =
+let schedule_func ?options ?sb_stats (fn : Mir.func) =
   List.fold_left
     (fun acc (b : Mir.block) ->
-      let r = schedule_block ?options fn b.Mir.b_insts in
+      let r = schedule_block ?options ?sb_stats fn b.Mir.b_insts in
       b.Mir.b_insts <- r.order;
       acc + r.length)
     0 fn.Mir.f_blocks
 
-let estimate_func ?options (fn : Mir.func) =
+let estimate_func ?options ?sb_stats (fn : Mir.func) =
   List.map
     (fun (b : Mir.block) ->
-      let r = schedule_block ?options fn b.Mir.b_insts in
+      let r = schedule_block ?options ?sb_stats fn b.Mir.b_insts in
       (b.Mir.b_label, r.length))
     fn.Mir.f_blocks

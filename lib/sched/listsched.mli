@@ -48,12 +48,19 @@ type result = {
   length : int;  (** issue span of the block in cycles *)
 }
 
-val schedule_block : ?options:options -> Mir.func -> Mir.inst list -> result
+val schedule_block :
+  ?options:options -> ?sb_stats:Scoreboard.stats -> Mir.func ->
+  Mir.inst list -> result
+(** [sb_stats], when given, accumulates scoreboard probe/conflict/reserve
+    counts across the call (surfaced by [--time-passes]). *)
 
-val schedule_func : ?options:options -> Mir.func -> int
+val schedule_func :
+  ?options:options -> ?sb_stats:Scoreboard.stats -> Mir.func -> int
 (** Schedule every block in place; returns the total of block lengths. *)
 
-val estimate_func : ?options:options -> Mir.func -> (string * int) list
+val estimate_func :
+  ?options:options -> ?sb_stats:Scoreboard.stats -> Mir.func ->
+  (string * int) list
 (** Block label and schedule length, without rewriting — schedule cost
     estimates as used by RASE and by the Table 4 estimated-cycles
     methodology. *)

@@ -238,8 +238,9 @@ type state = {
   mutable halted : bool;
   mutable trace_acc : (int * string) list;
   block_freq : (string, int) Hashtbl.t;
-  (* busy resources per absolute cycle, sliding window *)
-  busy : (int, Bitset.t) Hashtbl.t;
+  (* busy resources over a ring-buffer window of cycles *)
+  busy : Scoreboard.t;
+  lat : Latency.t;
   mutable cur_class : Bitset.t option;
   cache_tags : int array;  (* -1 = invalid *)
   halt_index : int;
@@ -345,7 +346,7 @@ let reg_ready_for st (consumer : Model.instr) (r : Model.reg) =
           bpos < Array.length st.prog.code.(st.pc).s_ops
           && st.prog.code.(widx).s_ops.(a) = st.prog.code.(st.pc).s_ops.(bpos)
         in
-        match Model.aux_latency st.model ~first:wop ~second:consumer ~opnd_eq with
+        match Latency.find st.lat ~first:wop ~second:consumer ~opnd_eq with
         | Some l -> st.wcycle.(bank).(b) + l
         | None -> st.ready.(bank).(b)
       end
@@ -363,25 +364,13 @@ let mark_written st (r : Model.reg) latency =
     st.wcycle.(bank).(b) <- st.cycle
   done
 
-let busy_at st c =
-  match Hashtbl.find_opt st.busy c with
-  | Some b -> b
-  | None ->
-      let b = Bitset.create (Array.length st.model.Model.resources) in
-      Hashtbl.replace st.busy c b;
-      b
-
 (* ------------------------------------------------------------------ *)
 (* Semantics evaluation                                                *)
 (* ------------------------------------------------------------------ *)
 
-let named_reg st cid =
-  let c = Model.class_exn st.model cid in
-  { Model.cls = cid; idx = c.Model.c_lo }
-
 let find_named st name =
   match Model.find_class st.model name with
-  | Some c -> named_reg st c.Model.c_id
+  | Some c -> Locs.named_reg st.model c.Model.c_id
   | None -> fail "unknown register name %S in semantics" name
 
 let operand_value st (si : sinst) n : value =
@@ -488,17 +477,11 @@ let data_ready st (si : sinst) =
       | Simm _ | Slab _ -> true)
     op.Model.i_reads
   && List.for_all
-       (fun cid -> reg_ready_for st op (named_reg st cid) <= st.cycle)
+       (fun cid -> reg_ready_for st op (Locs.named_reg st.model cid) <= st.cycle)
        op.Model.i_rnames
 
 let resources_free st (si : sinst) =
-  let ok = ref true in
-  Array.iteri
-    (fun c req ->
-      if !ok && not (Bitset.inter_empty (busy_at st (st.cycle + c)) req) then
-        ok := false)
-    si.s_op.Model.i_rvec;
-  !ok
+  not (Scoreboard.conflict st.busy ~cycle:st.cycle si.s_op.Model.i_rvec)
 
 let class_ok st (si : sinst) =
   match (si.s_op.Model.i_class, st.cur_class) with
@@ -631,9 +614,7 @@ let issue st =
       Hashtbl.replace st.block_freq l
         (1 + Option.value ~default:0 (Hashtbl.find_opt st.block_freq l))
   | None -> ());
-  Array.iteri
-    (fun c req -> Bitset.union_into ~dst:(busy_at st (st.cycle + c)) req)
-    si.s_op.Model.i_rvec;
+  Scoreboard.reserve st.busy ~cycle:st.cycle si.s_op.Model.i_rvec;
   (match si.s_op.Model.i_class with
   | Some k -> (
       match st.cur_class with
@@ -681,7 +662,8 @@ let run ?(config = default_config) (prog : Mir.prog) : result =
       halted = false;
       trace_acc = [];
       block_freq = Hashtbl.create 64;
-      busy = Hashtbl.create 256;
+      busy = Scoreboard.create model;
+      lat = Latency.for_model model;
       cur_class = None;
       cache_tags =
         (match config.cache with
@@ -704,7 +686,6 @@ let run ?(config = default_config) (prog : Mir.prog) : result =
     let si = st.prog.code.(st.pc) in
     if data_ready st si && resources_free st si && class_ok st si then issue st
     else begin
-      Hashtbl.remove st.busy st.cycle;
       st.cycle <- st.cycle + 1;
       st.cur_class <- None
     end

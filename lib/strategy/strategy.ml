@@ -36,10 +36,21 @@ let no_delay =
 
 let count_blocks (fn : Mir.func) = List.length fn.Mir.f_blocks
 
+(* every scheduler invocation feeds one scoreboard-stats sink, folded
+   into the pass stats so --time-passes can report probe/conflict rates *)
+let with_sb_stats st f =
+  let sb = Scoreboard.make_stats () in
+  let r = f sb in
+  st.Pass.sb_probes <- st.Pass.sb_probes + sb.Scoreboard.probes;
+  st.Pass.sb_conflicts <- st.Pass.sb_conflicts + sb.Scoreboard.conflicts;
+  st.Pass.sb_reserves <- st.Pass.sb_reserves + sb.Scoreboard.reserves;
+  r
+
 let record_estimates st fn options =
   List.iter
     (fun (label, len) -> Pass.record_estimate st label len)
-    (Listsched.estimate_func ~options fn);
+    (with_sb_stats st (fun sb ->
+         Listsched.estimate_func ~options ~sb_stats:sb fn));
   st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn
 
 let p_allocate =
@@ -59,7 +70,8 @@ let p_fill_delay =
 
 let p_schedule =
   Pass.v ~post:Diag.Post_sched "schedule" (fun st fn ->
-      ignore (Listsched.schedule_func fn);
+      ignore
+        (with_sb_stats st (fun sb -> Listsched.schedule_func ~sb_stats:sb fn));
       st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn)
 
 (* IPS prepass: schedule under a register-use limit so the allocator sees
@@ -70,7 +82,9 @@ let p_ips_prepass =
       let options =
         { no_delay with Listsched.reg_limit = Listsched.Auto_minus 1 }
       in
-      ignore (Listsched.schedule_func ~options fn);
+      ignore
+        (with_sb_stats st (fun sb ->
+             Listsched.schedule_func ~options ~sb_stats:sb fn));
       st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn)
 
 let p_estimate =
@@ -105,7 +119,8 @@ let p_rase_sweep =
           List.fold_left
             (fun acc (_, len) -> acc + len)
             0
-            (Listsched.estimate_func ~options fn)
+            (with_sb_stats st (fun sb ->
+                 Listsched.estimate_func ~options ~sb_stats:sb fn))
         in
         st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn;
         cost_at.(n) <- total
@@ -124,7 +139,9 @@ let p_rase_prepass =
       let options =
         { no_delay with Listsched.reg_limit = Listsched.Fixed budget }
       in
-      ignore (Listsched.schedule_func ~options fn);
+      ignore
+        (with_sb_stats st (fun sb ->
+             Listsched.schedule_func ~options ~sb_stats:sb fn));
       st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn)
 
 let p_frame =
@@ -268,6 +285,12 @@ let merge_units prof strategy units : report =
     (fun u ->
       spilled := !spilled + u.u_stats.Pass.spilled;
       passes := !passes + u.u_stats.Pass.sched_passes;
+      prof.Profile.p_sb_probes <-
+        prof.Profile.p_sb_probes + u.u_stats.Pass.sb_probes;
+      prof.Profile.p_sb_conflicts <-
+        prof.Profile.p_sb_conflicts + u.u_stats.Pass.sb_conflicts;
+      prof.Profile.p_sb_reserves <-
+        prof.Profile.p_sb_reserves + u.u_stats.Pass.sb_reserves;
       List.iter
         (fun (label, len) -> Hashtbl.replace estimates label len)
         u.u_stats.Pass.estimates;

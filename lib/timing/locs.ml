@@ -1,0 +1,60 @@
+type t = Lp of int | Lh of Model.reg
+
+let class_valid (model : Model.t) cid =
+  cid >= 0 && cid < Array.length model.Model.classes
+
+let reg_valid model (r : Model.reg) =
+  class_valid model r.Model.cls
+  &&
+  let c = Model.class_exn model r.Model.cls in
+  r.Model.idx >= c.Model.c_lo && r.Model.idx <= c.Model.c_hi
+
+let overlap model a b =
+  match (a, b) with
+  | Lp x, Lp y -> x = y
+  | Lh x, Lh y ->
+      reg_valid model x && reg_valid model y && Model.regs_overlap model x y
+  | Lp _, Lh _ | Lh _, Lp _ -> false
+
+(* [covers model w l]: writing [w] fully overwrites [l]. Only then may a
+   previous reader/writer record of [l] be dropped — with %equiv register
+   pairs a write can overlap a record only partially (writing r2 does not
+   supersede a use of the d1 pair), and dropping it would lose anti- and
+   output-dependences on the untouched half. *)
+let covers model w l =
+  match (w, l) with
+  | Lp x, Lp y -> x = y
+  | Lh x, Lh y ->
+      reg_valid model x && reg_valid model y
+      &&
+      let bx, ox, sx = Model.reg_bytes model x in
+      let by, oy, sy = Model.reg_bytes model y in
+      bx = by && ox <= oy && oy + sy <= ox + sx
+  | Lp _, Lh _ | Lh _, Lp _ -> false
+
+(* the single register of a named (usually temporal) single-register class *)
+let named_reg model cid =
+  let c = Model.class_exn model cid in
+  { Model.cls = cid; idx = c.Model.c_lo }
+
+let temporal_clock model (r : Model.reg) =
+  if not (class_valid model r.Model.cls) then None
+  else
+    let c = Model.class_exn model r.Model.cls in
+    if c.Model.c_temporal then c.Model.c_clock else None
+
+let clock model = function Lp _ -> None | Lh r -> temporal_clock model r
+
+let reads model (i : Mir.inst) =
+  List.map
+    (fun r -> match r with `Preg p -> Lp p.Mir.p_id | `Phys h -> Lh h)
+    (Mir.inst_uses i)
+  @ List.map (fun h -> Lh h) i.Mir.n_xuse
+  @ List.map (fun c -> Lh (named_reg model c)) i.Mir.n_op.Model.i_rnames
+
+let writes model (i : Mir.inst) =
+  List.map
+    (fun r -> match r with `Preg p -> Lp p.Mir.p_id | `Phys h -> Lh h)
+    (Mir.inst_defs i)
+  @ List.map (fun h -> Lh h) i.Mir.n_xdef
+  @ List.map (fun c -> Lh (named_reg model c)) i.Mir.n_op.Model.i_wnames

@@ -1,0 +1,38 @@
+(** Shared storage-location vocabulary.
+
+    One description of "what storage does this instruction touch" for the
+    DAG builder, the checkers, and the validators — previously each kept
+    its own copy of these helpers, and the copies drifted on validity
+    guards. The unified versions guard class and register indices, which
+    is the identity on locations drawn from a well-formed model. *)
+
+type t =
+  | Lp of int  (** a pseudo-register, by id *)
+  | Lh of Model.reg  (** a physical (hard) register *)
+
+val class_valid : Model.t -> int -> bool
+
+val reg_valid : Model.t -> Model.reg -> bool
+(** In-range class id and register index within the class bounds. *)
+
+val overlap : Model.t -> t -> t -> bool
+(** Same pseudo, or byte-interval overlap of two valid hard registers. *)
+
+val covers : Model.t -> t -> t -> bool
+(** [covers model w l]: writing [w] fully overwrites [l], so a tracking
+    record of [l] may be dropped. Partial %equiv overlap does not cover. *)
+
+val named_reg : Model.t -> int -> Model.reg
+(** The single register of a named (usually temporal) register class. *)
+
+val temporal_clock : Model.t -> Model.reg -> int option
+(** The EAP clock a temporal register belongs to, if any. *)
+
+val clock : Model.t -> t -> int option
+(** [temporal_clock] lifted to locations; pseudos are never temporal. *)
+
+val reads : Model.t -> Mir.inst -> t list
+(** Locations read: register uses, extra uses, and by-name class reads. *)
+
+val writes : Model.t -> Mir.inst -> t list
+(** Locations written: defs, extra defs, and by-name class writes. *)

@@ -1,0 +1,82 @@
+type stats = {
+  mutable probes : int;
+  mutable conflicts : int;
+  mutable reserves : int;
+}
+
+let make_stats () = { probes = 0; conflicts = 0; reserves = 0 }
+
+type t = {
+  ring : Bitset.t array;
+  size : int;  (** window length: the model's longest resource vector *)
+  mutable base : int;  (** cycles [base .. base+size-1] are live *)
+  stats : stats option;
+}
+
+(* the window only ever needs one slot per cycle an instruction can still
+   occupy resources after issue, i.e. the longest %instr resource vector *)
+let span (model : Model.t) =
+  Array.fold_left
+    (fun acc (i : Model.instr) -> max acc (Array.length i.Model.i_rvec))
+    1 model.Model.instrs
+
+let create ?stats (model : Model.t) =
+  let nres = Array.length model.Model.resources in
+  let size = span model in
+  { ring = Array.init size (fun _ -> Bitset.create nres); size; base = 0; stats }
+
+let window t = t.size
+
+let reset t =
+  Array.iter Bitset.clear t.ring;
+  t.base <- 0
+
+let slot t c = t.ring.(c mod t.size)
+
+(* Every consumer probes at monotonically non-decreasing cycles (the list
+   scheduler's and simulator's clocks only advance; the hazard replay
+   places instructions at strictly increasing cycles), so moving the
+   window forward may recycle every slot that fell behind it. *)
+let advance t cycle =
+  if cycle < t.base then
+    invalid_arg "Scoreboard: probe behind the window base";
+  if cycle > t.base then begin
+    if cycle - t.base >= t.size then Array.iter Bitset.clear t.ring
+    else
+      for c = t.base to cycle - 1 do
+        Bitset.clear (slot t c)
+      done;
+    t.base <- cycle
+  end
+
+(* probe loops walk the ring with an incrementally wrapped index — one
+   division per call, not per slot — and conflict exits on first hit *)
+
+let conflict t ~cycle (rvec : Bitset.t array) =
+  advance t cycle;
+  let n = Array.length rvec in
+  let hit = ref false in
+  let i = ref (cycle mod t.size) in
+  let c = ref 0 in
+  while (not !hit) && !c < n do
+    if not (Bitset.inter_empty t.ring.(!i) rvec.(!c)) then hit := true;
+    incr c;
+    incr i;
+    if !i = t.size then i := 0
+  done;
+  (match t.stats with
+  | Some s ->
+      s.probes <- s.probes + 1;
+      if !hit then s.conflicts <- s.conflicts + 1
+  | None -> ());
+  !hit
+
+let reserve t ~cycle (rvec : Bitset.t array) =
+  advance t cycle;
+  let i = ref (cycle mod t.size) in
+  for c = 0 to Array.length rvec - 1 do
+    Bitset.union_into ~dst:t.ring.(!i) rvec.(c);
+    incr i;
+    if !i = t.size then i := 0
+  done;
+  match t.stats with Some s -> s.reserves <- s.reserves + 1 | None -> ()

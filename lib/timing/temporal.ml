@@ -1,0 +1,51 @@
+type window = { w_clock : int; w_latch : Model.reg; w_launcher : string }
+
+type t = { model : Model.t; mutable open_ : window list }
+
+let create model = { model; open_ = [] }
+
+let reset t = t.open_ <- []
+
+let has_temporal (model : Model.t) =
+  Array.exists
+    (fun (c : Model.rclass) -> c.Model.c_temporal)
+    model.Model.classes
+
+(* the temporal latches among [locs], paired with their clocks *)
+let latches model locs =
+  List.filter_map
+    (fun l ->
+      match l with
+      | Locs.Lp _ -> None
+      | Locs.Lh r -> (
+          match Locs.temporal_clock model r with
+          | Some k -> Some (k, r)
+          | None -> None))
+    locs
+
+let catch t r =
+  let caught, rest =
+    List.partition
+      (fun w -> Model.regs_overlap t.model w.w_latch r)
+      t.open_
+  in
+  if caught <> [] then t.open_ <- rest;
+  caught
+
+let blocking t ~clock =
+  List.find_opt (fun w -> w.w_clock = clock) t.open_
+
+let launch t ~clock r ~launcher =
+  t.open_ <-
+    { w_clock = clock; w_latch = r; w_launcher = launcher }
+    :: List.filter
+         (fun w -> not (Model.regs_overlap t.model w.w_latch r))
+         t.open_
+
+(* Rule 1 as the list scheduler asks it: candidate [self] affecting clock
+   [affects] may issue only if every pending launch-to-catch edge on that
+   clock has [self] as its destination *)
+let rule1_ok ~affects ~pending ~self =
+  match affects with
+  | None -> true
+  | Some k -> List.for_all (fun (pk, dst) -> pk <> k || dst = self) pending

@@ -17,4 +17,5 @@ let () =
       ("targets", Test_targets.suite);
       ("e2e", Test_e2e.suite);
       ("props", Test_props.suite);
+      ("timing", Test_timing.suite);
     ]
