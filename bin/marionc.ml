@@ -41,8 +41,17 @@ let strategy_arg =
   Arg.(value & opt string "postpass" & info [ "s"; "strategy" ] ~docv:"STRAT" ~doc)
 
 let source_arg =
-  let doc = "The C source file to compile (optional with --lint)." in
+  let doc =
+    "The C source file to compile (optional with --lint or --livermore)."
+  in
   Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc)
+
+let livermore_arg =
+  let doc =
+    "Compile built-in Livermore kernel $(docv) (1-14) instead of a \
+     $(i,FILE.c) source."
+  in
+  Arg.(value & opt (some int) None & info [ "livermore" ] ~docv:"N" ~doc)
 
 let run_flag =
   let doc = "Execute the compiled program on the pipeline simulator." in
@@ -200,9 +209,73 @@ let time_passes_flag =
   in
   Arg.(value & flag & info [ "time-passes" ] ~doc)
 
+(* fault isolation: --on-error picks the per-function recovery policy,
+   --pass-timeout and --finject introduce faults (real deadline misses,
+   deterministic injections) for the policy to handle *)
+let on_error_arg =
+  let doc =
+    "What to do when a pass faults (raises, exceeds --pass-timeout, or \
+     trips an injected fault) while compiling one function: $(b,abort) \
+     (the default: fail the whole compile, exactly as without this \
+     flag), $(b,degrade) (recompile just that function down the \
+     strategy ladder rase -> ips -> postpass -> naive), or $(b,skip) \
+     (give the function up and keep compiling the rest)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("abort", `Abort); ("degrade", `Degrade); ("skip", `Skip) ])
+        `Abort
+    & info [ "on-error" ] ~docv:"POLICY" ~doc)
+
+let pass_timeout_arg =
+  let doc =
+    "Per-pass wall-clock budget in milliseconds; a pass exceeding it \
+     counts as a fault, handled per --on-error. The check runs after \
+     the pass returns (passes are never interrupted mid-flight)."
+  in
+  Arg.(value & opt (some float) None & info [ "pass-timeout" ] ~docv:"MS" ~doc)
+
+let finject_arg =
+  let doc =
+    "Deterministic fault-injection plan: comma-separated \
+     $(i,PASS):$(i,FN):$(i,KIND) rules (exact names or $(b,*) \
+     wildcards; $(i,KIND) is $(b,exn), $(b,timeout) or $(b,diag)), or \
+     $(b,seed=)$(i,N):$(i,RATE):$(i,KIND) for seeded pseudo-random \
+     site coverage. Defaults to \\$MARION_FINJECT. Injected faults are \
+     handled per --on-error."
+  in
+  Arg.(value & opt (some string) None & info [ "finject" ] ~docv:"PLAN" ~doc)
+
+let strict_flag =
+  let doc =
+    "Treat a compile with degraded or skipped functions as a failure: \
+     exit 1 where the default would exit 6."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let fault_report_arg =
+  let doc =
+    "Write the JSON fault report (recovery policy, per-function fault \
+     chains and resolutions, counts) to $(docv) after compiling."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "fault-report" ] ~docv:"FILE" ~doc)
+
+let resolve_finject spec =
+  let text =
+    match spec with
+    | Some s -> s
+    | None -> Option.value ~default:"" (Sys.getenv_opt "MARION_FINJECT")
+  in
+  match Finject.parse text with
+  | Ok plan -> plan
+  | Error msg -> raise (Usage (Printf.sprintf "bad fault-injection plan: %s" msg))
+
 let main target maril strategy source run verify sim_cache trace stats
     ghfill jobs time_passes lint verify_mir no_check check_format no_validate
-    validate_format cache no_cache cache_stats =
+    validate_format cache no_cache cache_stats on_error pass_timeout
+    finject_spec strict fault_report livermore =
   let validate_format = Option.value ~default:check_format validate_format in
   try
     let model =
@@ -228,13 +301,22 @@ let main target maril strategy source run verify sim_cache trace stats
       | Some s -> s
       | None -> raise (Usage (Printf.sprintf "unknown strategy %S" strategy))
     in
-    let source =
-      match source with
-      | Some s -> s
-      | None ->
-          raise (Usage "no source file given (FILE.c is required unless --lint)")
+    let source, src =
+      match (livermore, source) with
+      | Some id, None -> (
+          try (Printf.sprintf "lfk%d" id, Livermore.source id)
+          with Not_found ->
+            raise (Usage (Printf.sprintf "no Livermore kernel %d (1-14)" id)))
+      | None, Some s -> (s, read_file s)
+      | Some _, Some _ ->
+          raise (Usage "--livermore and FILE.c are mutually exclusive")
+      | None, None ->
+          raise
+            (Usage
+               "no source file given (FILE.c is required unless --lint or \
+                --livermore)")
     in
-    let src = read_file source in
+    let finject = resolve_finject finject_spec in
     let check_options =
       { Mircheck.default_options with Mircheck.hazard_replay = verify_mir }
     in
@@ -247,8 +329,25 @@ let main target maril strategy source run verify sim_cache trace stats
     let compiled =
       Marion.compile ~check:(not no_check) ~check_options
         ~validate:(not no_validate) ~jobs ~dag_stats:time_passes ?cache:comp_cache
-        model strat ~file:source src
+        ~on_error ?pass_timeout ~finject model strat ~file:source src
     in
+    let fault_events = compiled.Marion.report.Strategy.faults in
+    if fault_events <> [] then begin
+      match check_format with
+      | `Json -> output_string stderr (Degrade.events_to_json fault_events ^ "\n")
+      | `Text -> output_string stderr (Degrade.events_to_text fault_events)
+    end;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (Degrade.report_json
+             ~on_error:(Strategy.on_error_name on_error)
+             ~funcs:compiled.Marion.report.Strategy.profile.Profile.p_funcs
+             fault_events
+          ^ "\n");
+        close_out oc)
+      fault_report;
     if cache_stats then begin
       match comp_cache with
       | Some c -> (
@@ -316,7 +415,9 @@ let main target maril strategy source run verify sim_cache trace stats
       end
     end
     else print_string (Marion.asm_to_string compiled.Marion.prog);
-    0
+    (* the compile finished, but not every function got the strategy it
+       asked for: a distinct exit code scripts can branch on *)
+    if fault_events = [] then 0 else if strict then 1 else 6
     end
   with
   | Diag.Check_error diags ->
@@ -325,6 +426,11 @@ let main target maril strategy source run verify sim_cache trace stats
       if fmt = `Text then Printf.eprintf "marionc: check failed:\n";
       print_diags fmt stderr diags;
       code
+  | Guard.Trip f ->
+      (* an injected fault surfacing under --on-error=abort: there is no
+         original exception to re-raise, so report the fault itself *)
+      Printf.eprintf "marionc: pass fault: %s\n" (Fault.to_string f);
+      1
   | Usage msg ->
       Printf.eprintf "marionc: %s\n" msg;
       2
@@ -357,6 +463,11 @@ let exits =
        ~doc:
          "when a translation validator finds a semantic-preservation \
           violation (V-codes)."
+  :: Cmd.Exit.info 6
+       ~doc:
+         "when the compile succeeded but at least one function was \
+          degraded or skipped under $(b,--on-error) ($(b,--strict) \
+          turns this into exit 1)."
   :: Cmd.Exit.defaults
 
 let cmd =
@@ -369,6 +480,7 @@ let cmd =
       $ ghfill_flag $ jobs_arg $ time_passes_flag $ lint_flag
       $ verify_mir_flag $ no_check_flag $ check_format_arg
       $ no_validate_flag $ validate_format_arg $ cache_arg $ no_cache_flag
-      $ cache_stats_flag)
+      $ cache_stats_flag $ on_error_arg $ pass_timeout_arg $ finject_arg
+      $ strict_flag $ fault_report_arg $ livermore_arg)
 
 let () = exit (Cmd.eval' cmd)

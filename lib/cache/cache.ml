@@ -15,6 +15,7 @@ type counters = {
   stale : int;
   disk_hits : int;
   writes : int;
+  store_errors : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -104,6 +105,7 @@ type t = {
   mutable n_stale : int;
   mutable n_disk_hits : int;
   mutable n_writes : int;
+  mutable n_store_errors : int;
 }
 
 let rec mkdir_p path =
@@ -127,6 +129,7 @@ let create ?(capacity = 1024) ?dir () =
     n_stale = 0;
     n_disk_hits = 0;
     n_writes = 0;
+    n_store_errors = 0;
   }
 
 let dir t = t.cache_dir
@@ -179,10 +182,13 @@ let tmp_counter = Atomic.make 0
 
 (* a header the reader can validate before trusting the blob: magic,
    format + compiler version, the key the blob answers to, and the
-   blob's own digest (catches truncation and bit rot) *)
+   blob's own digest (catches truncation and bit rot). A write-side
+   failure — ENOSPC, permissions, a path component that is not a
+   directory — is [`Failed], a counted non-fatal event: the cache simply
+   stays cold for that entry, it never throws out of a compile. *)
 let write_disk t key blob =
   match t.cache_dir with
-  | None -> false
+  | None -> `Off
   | Some dir -> (
       let final = entry_path dir key in
       let tmp =
@@ -193,17 +199,21 @@ let write_disk t key blob =
       in
       try
         let oc = open_out_bin tmp in
-        output_string oc (magic ^ "\n");
-        output_string oc (version_line ^ "\n");
-        output_string oc (Ckey.to_hex key ^ "\n");
-        output_string oc (Digest.to_hex (Digest.string blob) ^ "\n");
-        output_string oc blob;
-        close_out oc;
+        (try
+           output_string oc (magic ^ "\n");
+           output_string oc (version_line ^ "\n");
+           output_string oc (Ckey.to_hex key ^ "\n");
+           output_string oc (Digest.to_hex (Digest.string blob) ^ "\n");
+           output_string oc blob;
+           close_out oc
+         with e ->
+           close_out_noerr oc;
+           raise e);
         Sys.rename tmp final;
-        true
+        `Written
       with Sys_error _ ->
         (try Sys.remove tmp with Sys_error _ -> ());
-        false)
+        `Failed)
 
 (* [Ok blob] on a valid entry, [Error `Absent] when there is none,
    [Error `Stale] when one exists but fails any header or digest check *)
@@ -290,8 +300,10 @@ let find t model ~key =
 let store t ~key payload =
   let blob = freeze payload in
   locked t (fun () -> insert_locked t key blob);
-  if write_disk t key blob then
-    locked t (fun () -> t.n_writes <- t.n_writes + 1)
+  match write_disk t key blob with
+  | `Written -> locked t (fun () -> t.n_writes <- t.n_writes + 1)
+  | `Failed -> locked t (fun () -> t.n_store_errors <- t.n_store_errors + 1)
+  | `Off -> ()
 
 let counters t =
   locked t (fun () ->
@@ -302,6 +314,7 @@ let counters t =
         stale = t.n_stale;
         disk_hits = t.n_disk_hits;
         writes = t.n_writes;
+        store_errors = t.n_store_errors;
       })
 
 (* ------------------------------------------------------------------ *)
@@ -314,12 +327,12 @@ let stats_text t =
   Printf.sprintf
     "# compilation cache: %s\n\
      #   hits=%d (disk %d) misses=%d evictions=%d stale=%d writes=%d \
-     entries=%d/%d\n"
+     store-errors=%d entries=%d/%d\n"
     (match t.cache_dir with
     | Some d -> "memory + " ^ d
     | None -> "memory only")
-    c.hits c.disk_hits c.misses c.evictions c.stale c.writes entries
-    t.capacity
+    c.hits c.disk_hits c.misses c.evictions c.stale c.writes c.store_errors
+    entries t.capacity
 
 let stats_json t =
   let c = counters t in
@@ -341,5 +354,6 @@ let stats_json t =
         field "stale" (string_of_int c.stale);
         field "disk_hits" (string_of_int c.disk_hits);
         field "writes" (string_of_int c.writes);
+        field "store_errors" (string_of_int c.store_errors);
       ]
   ^ "}"

@@ -41,6 +41,10 @@ type counters = {
   stale : int;  (** rejected entries: bad header, version, digest *)
   disk_hits : int;  (** subset of [hits] served from the disk layer *)
   writes : int;  (** payloads persisted to disk *)
+  store_errors : int;
+      (** write-side failures (ENOSPC, permissions, bad path) during the
+          temp-file + rename store: counted, never raised — the entry
+          simply stays cold on disk ([--cache-stats] surfaces these) *)
 }
 
 type t
@@ -61,7 +65,8 @@ val find : t -> Model.t -> key:Ckey.t -> payload option
 val store : t -> key:Ckey.t -> payload -> unit
 (** Insert into memory (evicting past capacity) and, when persistent,
     write through to disk atomically. Never raises on I/O failure — a
-    cache that cannot write simply stays cold. *)
+    cache that cannot write simply stays cold, and each failed write is
+    counted under [store_errors]. *)
 
 val counters : t -> counters
 (** A consistent snapshot of the lifetime counters. *)
@@ -71,4 +76,5 @@ val stats_text : t -> string
 val stats_json : t -> string
 (** One JSON object:
     [{"enabled":true,"dir":…,"capacity":…,"entries":…,"hits":…,
-      "misses":…,"evictions":…,"stale":…,"disk_hits":…,"writes":…}]. *)
+      "misses":…,"evictions":…,"stale":…,"disk_hits":…,"writes":…,
+      "store_errors":…}]. *)

@@ -33,8 +33,10 @@ val parse_c : file:string -> string -> Cast.tunit
 
 val compile :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t -> Model.t ->
-  Strategy.name -> file:string -> string -> compiled
+  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t ->
+  ?on_error:Strategy.on_error -> ?pass_timeout:float ->
+  ?finject:Finject.plan -> Model.t -> Strategy.name -> file:string ->
+  string -> compiled
 (** Front end, glue, selection, the chosen strategy, frame layout.
     [check] (default [true]) lints the description and re-verifies the
     MIR at every phase point ({!Mircheck}); invariant violations raise
@@ -55,12 +57,20 @@ val compile :
     [cache] supplies a content-addressed compilation cache ({!Cache},
     [marionc --cache]): per-function results keyed on the post-glue IL,
     the model digest, and the pipeline identity are replayed
-    bit-identically instead of recompiled — see {!Strategy.compile}. *)
+    bit-identically instead of recompiled — see {!Strategy.compile}.
+
+    [on_error] ([marionc --on-error=]), [pass_timeout] ([--pass-timeout],
+    milliseconds) and [finject] ([--finject], [MARION_FINJECT]) activate
+    per-function fault isolation: pass faults are trapped and the
+    function degrades down the strategy ladder or is skipped instead of
+    aborting the whole compile — see {!Strategy.compile} and {!Degrade}.
+    The defaults preserve abort-on-first-error bit-identically. *)
 
 val compile_ir :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t -> Model.t ->
-  Strategy.name -> Ir.prog -> compiled
+  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t ->
+  ?on_error:Strategy.on_error -> ?pass_timeout:float ->
+  ?finject:Finject.plan -> Model.t -> Strategy.name -> Ir.prog -> compiled
 (** Same, starting from IL. *)
 
 val run : ?config:Sim.config -> compiled -> Sim.result
@@ -69,7 +79,9 @@ val run : ?config:Sim.config -> compiled -> Sim.result
 val compile_and_run :
   ?config:Sim.config -> ?check:bool -> ?check_options:Mircheck.options ->
   ?validate:bool -> ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t ->
-  Model.t -> Strategy.name -> file:string -> string -> run_result
+  ?on_error:Strategy.on_error -> ?pass_timeout:float ->
+  ?finject:Finject.plan -> Model.t -> Strategy.name -> file:string ->
+  string -> run_result
 
 val lint : ?suppress:string list -> Model.t -> Diag.t list
 (** {!Marilint.lint}: check a machine description for internal

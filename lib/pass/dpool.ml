@@ -25,11 +25,19 @@ let map (type a b) ~jobs (f : a -> b) (xs : a list) : b list =
     let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join spawned;
-    (* re-raise for the earliest failing index: identical to what the
-       sequential path would have raised first *)
+    (* re-raise for the earliest failing index — identical to what the
+       sequential path would have raised first — with the backtrace the
+       failing item captured on its own domain ([raise_with_backtrace]),
+       so crossing the pool never destroys the original trace. Later
+       failures are dropped, exactly as a sequential map would never
+       have reached them. *)
+    Array.iter
+      (function
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok _ | Empty -> ())
+      results;
     Array.to_list results
     |> List.map (function
          | Ok r -> r
-         | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
-         | Empty -> assert false)
+         | Exn _ | Empty -> assert false)
   end

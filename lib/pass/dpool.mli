@@ -9,9 +9,16 @@
     determinism argument: parallelism changes {e when} an item runs, never
     {e where} its result goes.
 
-    Exceptions are captured per item and re-raised for the {e earliest}
-    failing input index after all domains join — the same exception the
-    sequential path would have raised first. *)
+    Exceptions are captured {e per failing item} together with that
+    item's raw backtrace ([Printexc.get_raw_backtrace] on the worker
+    domain, before anything else can clobber it) and re-raised for the
+    {e earliest} failing input index after all domains join — the same
+    exception the sequential path would have raised first, re-thrown
+    with [Printexc.raise_with_backtrace] so the original trace survives
+    the domain boundary. Callers that report failures (the [`Abort]
+    policy in {!Strategy}) therefore see where the pass actually died,
+    not where the pool re-raised. Later failures are dropped, exactly as
+    a sequential map would never have reached them. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: what [-j 0] resolves to. *)

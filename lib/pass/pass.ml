@@ -22,8 +22,8 @@ let fresh_stats () =
   { spilled = 0; sched_passes = 0; estimates = []; reg_budget = None;
     sb_probes = 0; sb_conflicts = 0; sb_reserves = 0 }
 
-let run_pipeline ?(verify = fun _ _ -> ()) ?(snapshot = fun _ _ -> None)
-    ?(validate = fun _ ~before:_ _ -> ())
+let run_pipeline ?guard ?(verify = fun _ _ -> ())
+    ?(snapshot = fun _ _ -> None) ?(validate = fun _ ~before:_ _ -> ())
     ?(record = fun _ ~wall:_ ~cpu:_ -> ()) passes fn =
   let st = fresh_stats () in
   List.iter
@@ -34,7 +34,9 @@ let run_pipeline ?(verify = fun _ _ -> ()) ?(snapshot = fun _ _ -> None)
         | None -> None
       in
       let t0 = Mclock.wall () and c0 = Mclock.thread_cpu () in
-      p.run st fn;
+      (match guard with
+      | None -> p.run st fn
+      | Some g -> g p (fun () -> p.run st fn));
       record p.name
         ~wall:(Mclock.wall () -. t0)
         ~cpu:(Mclock.thread_cpu () -. c0);

@@ -55,6 +55,7 @@ val record_estimate : stats -> string -> int -> unit
 val fresh_stats : unit -> stats
 
 val run_pipeline :
+  ?guard:(t -> (unit -> unit) -> unit) ->
   ?verify:(Diag.phase -> Mir.func -> unit) ->
   ?snapshot:(Diag.phase -> Mir.func -> Mir.func option) ->
   ?validate:(Diag.phase -> before:Mir.func -> Mir.func -> unit) ->
@@ -62,7 +63,14 @@ val run_pipeline :
   t list ->
   Mir.func ->
   stats
-(** Run each pass in order over the function. Before a pass with
+(** Run each pass in order over the function. [guard] (default: run the
+    pass directly) wraps every pass body: it receives the pass and a
+    thunk that runs it, and is the fault-isolation hook — the robust
+    driver supplies a closure over {!Guard.protect} here, so exception
+    trapping, wall-clock deadlines and fault injection happen uniformly
+    at every pass boundary without the passes knowing. A guard that
+    raises aborts the pipeline at that pass (the pass's time is not
+    recorded). Before a pass with
     [post = Some phase], call [snapshot phase fn] (default: [None]); when
     it returns a copy, hand [validate phase ~before fn] the (input,
     output) pair after the pass — the translation-validation hook

@@ -26,6 +26,9 @@ type t = {
   mutable p_cache_misses : int;
   mutable p_cache_evictions : int;
   mutable p_cache_stale : int;
+  mutable p_faults : int;
+  mutable p_degraded : int;
+  mutable p_skipped : int;
 }
 
 let create ?(jobs = 1) ~strategy () =
@@ -50,6 +53,9 @@ let create ?(jobs = 1) ~strategy () =
     p_cache_misses = 0;
     p_cache_evictions = 0;
     p_cache_stale = 0;
+    p_faults = 0;
+    p_degraded = 0;
+    p_skipped = 0;
   }
 
 (* The entry list stays in first-recorded order: a compile records in
@@ -89,6 +95,9 @@ let to_text t =
     Printf.bprintf buf
       "#   cache: hits=%d misses=%d evictions=%d stale=%d\n" t.p_cache_hits
       t.p_cache_misses t.p_cache_evictions t.p_cache_stale;
+  if t.p_faults > 0 || t.p_degraded > 0 || t.p_skipped > 0 then
+    Printf.bprintf buf "#   robust: faults=%d degraded=%d skipped=%d\n"
+      t.p_faults t.p_degraded t.p_skipped;
   List.iter
     (fun e ->
       Printf.bprintf buf "#   %-24s %9.6fs  (cpu %9.6fs)  x%d\n" e.e_name
@@ -140,6 +149,9 @@ let to_json t =
         field "sb_probes" (string_of_int t.p_sb_probes);
         field "sb_conflicts" (string_of_int t.p_sb_conflicts);
         field "sb_reserves" (string_of_int t.p_sb_reserves);
+        field "faults" (string_of_int t.p_faults);
+        field "degraded" (string_of_int t.p_degraded);
+        field "skipped" (string_of_int t.p_skipped);
         field "wall_s" (num t.p_wall);
         field "cpu_s" (num t.p_cpu);
         field "cache" cache;

@@ -49,6 +49,14 @@ type t = {
   mutable p_cache_misses : int;  (** functions compiled and stored *)
   mutable p_cache_evictions : int;  (** LRU evictions during the compile *)
   mutable p_cache_stale : int;  (** persisted entries rejected as unusable *)
+  mutable p_faults : int;
+      (** pass faults trapped by the robust driver (injected included);
+          [0] unless [--on-error]/[--finject]/[--pass-timeout] are in
+          play *)
+  mutable p_degraded : int;
+      (** functions that recovered on a lower ladder rung ({!Degrade}) *)
+  mutable p_skipped : int;
+      (** functions given up after ladder exhaustion or under [`Skip] *)
 }
 
 val create : ?jobs:int -> strategy:string -> unit -> t

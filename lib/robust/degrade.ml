@@ -1,0 +1,89 @@
+let ladder = [ "rase"; "ips"; "postpass"; "naive" ]
+
+let next name =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if name = a then Some b else go rest
+    | _ -> None
+  in
+  go ladder
+
+type resolution = Degraded of string | Skipped
+
+type event = {
+  d_func : string;
+  d_from : string;
+  d_faults : Fault.t list;
+  d_resolution : resolution;
+}
+
+let fault_count events =
+  List.fold_left (fun acc e -> acc + List.length e.d_faults) 0 events
+
+let degraded_count events =
+  List.length
+    (List.filter (fun e -> match e.d_resolution with Degraded _ -> true | Skipped -> false) events)
+
+let skipped_count events =
+  List.length (List.filter (fun e -> e.d_resolution = Skipped) events)
+
+let event_to_text e =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f -> Printf.bprintf b "# fault: %s\n" (Fault.to_string f))
+    e.d_faults;
+  let n = List.length e.d_faults in
+  (match e.d_resolution with
+  | Degraded rung ->
+      Printf.bprintf b "# degraded: %s: %s -> %s after %d fault%s\n"
+        e.d_func e.d_from rung n
+        (if n = 1 then "" else "s")
+  | Skipped ->
+      Printf.bprintf b "# skipped: %s: gave up (%s) after %d fault%s\n"
+        e.d_func e.d_from n
+        (if n = 1 then "" else "s"));
+  Buffer.contents b
+
+let events_to_text events =
+  String.concat "" (List.map event_to_text events)
+
+let event_to_json e =
+  let field name v = Printf.sprintf "\"%s\":%s" name v in
+  let str s = Printf.sprintf "\"%s\"" (Diag.json_escape s) in
+  "{"
+  ^ String.concat ","
+      [
+        field "func" (str e.d_func);
+        field "from" (str e.d_from);
+        field "resolution"
+          (str
+             (match e.d_resolution with
+             | Degraded _ -> "degraded"
+             | Skipped -> "skipped"));
+        field "rung"
+          (match e.d_resolution with
+          | Degraded rung -> str rung
+          | Skipped -> "null");
+        field "faults"
+          ("["
+          ^ String.concat "," (List.map Fault.to_json e.d_faults)
+          ^ "]");
+      ]
+  ^ "}"
+
+let events_to_json events =
+  "[" ^ String.concat "," (List.map event_to_json events) ^ "]"
+
+let report_json ~on_error ~funcs events =
+  let field name v = Printf.sprintf "\"%s\":%s" name v in
+  "{"
+  ^ String.concat ","
+      [
+        field "on_error"
+          (Printf.sprintf "\"%s\"" (Diag.json_escape on_error));
+        field "funcs" (string_of_int funcs);
+        field "faults" (string_of_int (fault_count events));
+        field "degraded" (string_of_int (degraded_count events));
+        field "skipped" (string_of_int (skipped_count events));
+        field "events" (events_to_json events);
+      ]
+  ^ "}"

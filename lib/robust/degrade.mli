@@ -1,0 +1,58 @@
+(** The strategy degradation ladder and its per-function event record.
+
+    The paper's framing — Postpass, IPS and RASE as phase orderings of
+    one pass vocabulary — gives a natural fallback order when an
+    aggressive ordering faults on a function: retry the {e same function}
+    under the next simpler ordering rather than failing the whole
+    compile. The ladder is
+    [rase -> ips -> postpass -> naive]; a fault below [naive] (or the
+    [`Skip] policy) gives the function up, leaving it at its pristine
+    pre-pipeline state and marking it skipped.
+
+    One {!event} records everything that happened to one function: the
+    fault chain (one {!Fault.t} per failed rung, oldest first) and how it
+    resolved. Events ride the per-function compile units, merge in
+    program order, and render in text and JSON alongside diagnostics —
+    so degradation is always visible, never silent. *)
+
+val ladder : string list
+(** [["rase"; "ips"; "postpass"; "naive"]] — strongest first. *)
+
+val next : string -> string option
+(** The next rung down, [None] at the bottom (or for unknown names). *)
+
+type resolution =
+  | Degraded of string  (** recovered on this (lower) rung *)
+  | Skipped
+      (** ladder exhausted, or the [`Skip] policy; the function is left
+          at its pre-pipeline state *)
+
+type event = {
+  d_func : string;
+  d_from : string;  (** the strategy originally requested *)
+  d_faults : Fault.t list;  (** oldest first, one per failed attempt *)
+  d_resolution : resolution;
+}
+
+val fault_count : event list -> int
+
+val degraded_count : event list -> int
+
+val skipped_count : event list -> int
+
+val event_to_text : event -> string
+(** ["# fault: …"] lines followed by one ["# degraded: …"] or
+    ["# skipped: …"] line, newline-terminated. *)
+
+val events_to_text : event list -> string
+
+val event_to_json : event -> string
+(** [{"func":…,"from":…,"resolution":…,"rung":…|null,"faults":[…]}]. *)
+
+val events_to_json : event list -> string
+(** A JSON array of events. *)
+
+val report_json : on_error:string -> funcs:int -> event list -> string
+(** The standalone fault report ([marionc --fault-report]):
+    [{"on_error":…,"funcs":…,"faults":…,"degraded":…,"skipped":…,
+      "events":[…]}]. *)

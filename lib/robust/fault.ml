@@ -1,0 +1,68 @@
+type kind =
+  | Exn of string
+  | Timeout of { budget_ms : float; elapsed_ms : float }
+  | Diag of string
+
+type t = {
+  f_func : string;
+  f_strategy : string;
+  f_pass : string;
+  f_kind : kind;
+  f_injected : bool;
+  f_backtrace : string;
+  f_exn : (exn * Printexc.raw_backtrace) option;
+}
+
+let make ~func ~strategy ~pass ?(injected = false) ?(backtrace = "") ?exn_
+    kind =
+  {
+    f_func = func;
+    f_strategy = strategy;
+    f_pass = pass;
+    f_kind = kind;
+    f_injected = injected;
+    f_backtrace = backtrace;
+    f_exn = exn_;
+  }
+
+let of_check ~func ~strategy diags =
+  let codes =
+    List.map (fun (d : Diag.t) -> d.Diag.code) (Diag.errors diags)
+  in
+  make ~func ~strategy ~pass:"check"
+    (Diag
+       (Printf.sprintf "%d check error(s): %s" (List.length codes)
+          (String.concat "," codes)))
+
+let kind_name = function
+  | Exn _ -> "exn"
+  | Timeout _ -> "timeout"
+  | Diag _ -> "diag"
+
+let describe = function
+  | Exn msg -> msg
+  | Timeout { budget_ms; elapsed_ms } ->
+      Printf.sprintf "pass overran its %.3f ms budget (ran %.3f ms)"
+        budget_ms elapsed_ms
+  | Diag msg -> msg
+
+let to_string f =
+  Printf.sprintf "%s: %s/%s: %s: %s%s" f.f_func f.f_strategy f.f_pass
+    (kind_name f.f_kind) (describe f.f_kind)
+    (if f.f_injected then " [injected]" else "")
+
+let to_json f =
+  let field name v = Printf.sprintf "\"%s\":%s" name v in
+  let str s = Printf.sprintf "\"%s\"" (Diag.json_escape s) in
+  "{"
+  ^ String.concat ","
+      [
+        field "func" (str f.f_func);
+        field "rung" (str f.f_strategy);
+        field "pass" (str f.f_pass);
+        field "kind" (str (kind_name f.f_kind));
+        field "injected" (if f.f_injected then "true" else "false");
+        field "detail" (str (describe f.f_kind));
+        field "backtrace" (str f.f_backtrace);
+      ]
+  ^ "}"

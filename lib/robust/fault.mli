@@ -1,0 +1,57 @@
+(** Structured per-function failure records.
+
+    A fault is everything the compile driver knows about one failed
+    attempt to run one pass of one strategy on one function: where it
+    happened (function, ladder rung, pass), what kind of failure it was,
+    whether it was injected by the fault-injection harness ({!Finject}),
+    and — for trapped exceptions — the original exception with its raw
+    backtrace, so the [`Abort] policy can re-raise without destroying the
+    trace. Faults are rendered in text and JSON alongside diagnostics
+    ([marionc --fault-report], the [--on-error] stderr stream) and
+    aggregated into {!Degrade.event}s by the degradation driver. *)
+
+type kind =
+  | Exn of string
+      (** a trapped exception, rendered with [Printexc.to_string] *)
+  | Timeout of { budget_ms : float; elapsed_ms : float }
+      (** the pass completed but overran its wall-clock budget (see
+          {!Guard.protect} for the post-hoc granularity) *)
+  | Diag of string
+      (** verifier/validator errors trapped as a fault, or an injected
+          diagnostic fault *)
+
+type t = {
+  f_func : string;  (** MIR function the fault occurred in *)
+  f_strategy : string;  (** ladder rung that was running, e.g. ["rase"] *)
+  f_pass : string;
+      (** pass name, or ["check"] for trapped verifier/validator errors
+          raised outside any single pass *)
+  f_kind : kind;
+  f_injected : bool;  (** planted by {!Finject}, not a real failure *)
+  f_backtrace : string;  (** rendered backtrace; [""] when none *)
+  f_exn : (exn * Printexc.raw_backtrace) option;
+      (** the original exception for [`Abort] re-raise; never rendered *)
+}
+
+val make :
+  func:string -> strategy:string -> pass:string -> ?injected:bool ->
+  ?backtrace:string -> ?exn_:exn * Printexc.raw_backtrace -> kind -> t
+(** [injected] defaults to [false], [backtrace] to [""]. *)
+
+val of_check : func:string -> strategy:string -> Diag.t list -> t
+(** Fold trapped {!Diag.Check_error} diagnostics into a [Diag]-kind fault
+    (pass ["check"], message = the error codes). *)
+
+val kind_name : kind -> string
+(** ["exn"], ["timeout"] or ["diag"]. *)
+
+val describe : kind -> string
+(** Human-readable payload of the kind (message, budget overrun). *)
+
+val to_string : t -> string
+(** One line: [func: rung/pass: kind: detail \[injected\]]. *)
+
+val to_json : t -> string
+(** One JSON object:
+    [{"func":…,"rung":…,"pass":…,"kind":…,"injected":…,"detail":…,
+      "backtrace":…}]. *)

@@ -1,0 +1,38 @@
+exception Trip of Fault.t
+
+let injected_fault ~fn ~strategy ~pass kind =
+  let k =
+    match kind with
+    | `Exn -> Fault.Exn "injected exception fault"
+    | `Timeout -> Fault.Timeout { budget_ms = 0.0; elapsed_ms = 0.0 }
+    | `Diag -> Fault.Diag "injected diagnostic fault"
+  in
+  Fault.make ~func:fn ~strategy ~pass ~injected:true k
+
+let protect ~fn ~strategy ~pass ?deadline_ms ?inject body =
+  match inject with
+  | Some kind -> raise (Trip (injected_fault ~fn ~strategy ~pass kind))
+  | None -> (
+      let t0 = Mclock.wall () in
+      match body () with
+      | () -> (
+          match deadline_ms with
+          | None -> ()
+          | Some budget_ms ->
+              let elapsed_ms = (Mclock.wall () -. t0) *. 1000.0 in
+              if elapsed_ms > budget_ms then
+                raise
+                  (Trip
+                     (Fault.make ~func:fn ~strategy ~pass
+                        (Fault.Timeout { budget_ms; elapsed_ms }))))
+      | exception (Trip _ as e) -> raise e
+      | exception e ->
+          (* capture the raw backtrace first: any allocation or call in
+             between could raise and replace it *)
+          let bt = Printexc.get_raw_backtrace () in
+          raise
+            (Trip
+               (Fault.make ~func:fn ~strategy ~pass
+                  ~backtrace:(Printexc.raw_backtrace_to_string bt)
+                  ~exn_:(e, bt)
+                  (Fault.Exn (Printexc.to_string e)))))

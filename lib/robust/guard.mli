@@ -1,0 +1,38 @@
+(** The per-pass fault trap.
+
+    [protect] runs one pass body under an exception trap (capturing the
+    raw backtrace before anything else can clobber it) and an optional
+    wall-clock deadline measured on {!Mclock.wall}; injection rules from
+    a {!Finject} plan fire here, at the pass boundary, before the body
+    runs. Any fault raises {!Trip} carrying a structured {!Fault.t}; the
+    degradation driver above decides whether to re-raise the original
+    exception ([`Abort]), walk the fallback ladder ([`Degrade]) or give
+    the function up ([`Skip]).
+
+    {b Timeout granularity.} The deadline is checked {e after} the pass
+    body returns: OCaml domains cannot be interrupted preemptively
+    without unsafe asynchronous exceptions, so a pass that never
+    terminates is out of scope — the budget catches passes that finish
+    but blow their latency envelope (RASE sweeps on pathological blocks),
+    and the injected [`Timeout] kind exercises the recovery path
+    deterministically. See DESIGN.md, "Fault isolation & degradation". *)
+
+exception Trip of Fault.t
+(** Raised for every fault the guard traps or injects. Never caught by
+    the guard's own trap. *)
+
+val protect :
+  fn:string -> strategy:string -> pass:string -> ?deadline_ms:float ->
+  ?inject:Finject.kind -> (unit -> unit) -> unit
+(** [protect ~fn ~strategy ~pass body] runs [body ()] under the trap.
+
+    - [inject = Some kind] raises {!Trip} with an injected fault of that
+      kind {e instead of} running the body (the site is the pass
+      boundary; the function is left untouched for the retry).
+    - An exception [e] from the body raises {!Trip} with kind
+      [Fault.Exn], the rendered and raw backtraces, and the original
+      exception for loss-free [`Abort] re-raise.
+    - With [deadline_ms], a body that returns after more than that many
+      wall-clock milliseconds raises {!Trip} with kind [Fault.Timeout].
+
+    A nested {!Trip} (from an inner guard) passes through untouched. *)

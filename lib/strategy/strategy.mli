@@ -35,6 +35,25 @@ val pipeline : name -> Pass.t list
     strategy-specific allocation/scheduling behaviour lives in these pass
     definitions; {!apply} contains none. *)
 
+type on_error = [ `Abort | `Degrade | `Skip ]
+(** What the driver does when a pass faults — raises, exceeds the pass
+    deadline, or trips an injected fault ({!Finject}) — while compiling
+    one function:
+
+    - [`Abort] (the default): the fault propagates exactly as it would
+      without the robust layer — same exception, same backtrace. With no
+      deadline and no injection plan this path installs {e no} guard at
+      all, so it is bit-identical to the pre-robust compiler.
+    - [`Degrade]: recompile {e only the faulted function} from its
+      pristine post-selection state on the next rung of the fallback
+      ladder — Rase -> Ips -> Postpass -> Naive (see {!Degrade}) — until
+      a rung succeeds or the ladder is exhausted (then as [`Skip]).
+    - [`Skip]: give the function up at its pristine state and record it
+      as skipped; the rest of the program compiles normally. *)
+
+val on_error_name : on_error -> string
+(** ["abort"], ["degrade"] or ["skip"] — the [--on-error=] spelling. *)
+
 type report = {
   strategy : name;
   spilled : int;  (** pseudo-registers spilled across all functions *)
@@ -63,15 +82,24 @@ type report = {
           snapshots and running the translation validators; [0.] when
           validation is off. Summed across domains under [jobs > 1] (see
           [bench transval]). *)
+  faults : Degrade.event list;
+      (** one event per function that faulted under a non-[`Abort]
+          policy, in program order: the faults trapped (exception,
+          deadline, injection — {!Fault}) and how the function was
+          resolved (degraded to a lower rung, or skipped). Empty under
+          [`Abort] and on every fault-free compile, so existing callers
+          see no change. *)
   profile : Profile.t;
       (** per-pass wall times and code-shape statistics for this compile
           ([marionc --time-passes], bench "parallel"). Timing values are
-          the only non-deterministic part of a report. *)
+          the only non-deterministic part of a report; fault and
+          degradation counts land in [p_faults]/[p_degraded]/[p_skipped]. *)
 }
 
 val apply :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> ?profile:Profile.t -> name -> Mir.prog ->
+  ?jobs:int -> ?dag_stats:bool -> ?profile:Profile.t -> ?on_error:on_error ->
+  ?pass_timeout:float -> ?finject:Finject.plan -> name -> Mir.prog ->
   report
 (** Run the strategy's pipeline over every function of a selected
     program: scheduling and register allocation per the strategy, then
@@ -105,11 +133,22 @@ val apply :
     [dag_stats] (default false) additionally sizes each block's
     post-select code DAG into the profile (costs one extra DAG build per
     block). [profile] accumulates into a caller-owned profile instead of
-    a fresh one; the caller then owns its wall/cpu totals. *)
+    a fresh one; the caller then owns its wall/cpu totals.
+
+    [on_error], [pass_timeout] and [finject] activate the fault-isolation
+    layer: every pass body runs under a {!Guard} that traps exceptions
+    (backtrace captured), checks the per-pass wall-clock deadline
+    [pass_timeout] (milliseconds, checked {e after} the pass returns —
+    domains cannot be preempted), and fires the deterministic injection
+    plan [finject] at pass boundaries. Faulted functions recover per
+    [on_error] (default [`Abort]); see {!type-on_error}. With the
+    defaults — [`Abort], no deadline, empty plan — no guard is installed
+    and behaviour is bit- and exception-identical to before. *)
 
 val compile :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t -> Model.t -> name ->
+  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t -> ?on_error:on_error ->
+  ?pass_timeout:float -> ?finject:Finject.plan -> Model.t -> name ->
   Ir.prog -> Mir.prog * report
 (** The incremental whole-program driver: lint (when [check]), glue the
     IL to the model sequentially, then fan one unit per function out over
@@ -137,4 +176,16 @@ val compile :
     Errors re-raise for the earliest function that would have failed; a
     function whose selection fails no longer preempts an earlier
     function's pipeline error, since selection now runs inside the
-    per-function unit. *)
+    per-function unit.
+
+    The robust options interact with the cache in two ways. First, cache
+    {e lookups are bypassed} for any function the injection plan may
+    target ({!Finject.may_target}) — a warm hit would replay a result
+    without crossing the pass boundaries faults are planted at, silently
+    neutralising the injection; bypassed functions count as neither hit
+    nor miss. Second, a degraded result is {e stored under the fallback
+    rung's pipeline identity}, never the original strategy's key, and a
+    skipped function is never stored — so the cache can never replay a
+    degraded artifact as a clean compile of the requested strategy, while
+    a later compile that genuinely requests the fallback strategy hits
+    legitimately. *)

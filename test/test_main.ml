@@ -12,6 +12,7 @@ let () =
       ("strategy", Test_strategy.suite);
       ("pass", Test_pass.suite);
       ("cache", Test_cache.suite);
+      ("robust", Test_robust.suite);
       ("check", Test_check.suite);
       ("transval", Test_transval.suite);
       ("targets", Test_targets.suite);
