@@ -247,6 +247,24 @@ let finject_arg =
   in
   Arg.(value & opt (some string) None & info [ "finject" ] ~docv:"PLAN" ~doc)
 
+let no_disambig_flag =
+  let doc =
+    "Disable static memory disambiguation: keep every conservative \
+     memory-ordering edge in the dependence DAGs instead of pruning \
+     edges between provably independent loads and stores."
+  in
+  Arg.(value & flag & info [ "no-disambig" ] ~doc)
+
+let analysis_format_arg =
+  let doc =
+    "Print a dataflow-analysis summary (solver fixpoints, alias-oracle \
+     queries, memory edges pruned) to stderr as $(b,text) or $(b,json)."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "analysis-format" ] ~docv:"FMT" ~doc)
+
 let strict_flag =
   let doc =
     "Treat a compile with degraded or skipped functions as a failure: \
@@ -275,7 +293,7 @@ let resolve_finject spec =
 let main target maril strategy source run verify sim_cache trace stats
     ghfill jobs time_passes lint verify_mir no_check check_format no_validate
     validate_format cache no_cache cache_stats on_error pass_timeout
-    finject_spec strict fault_report livermore =
+    finject_spec strict fault_report no_disambig analysis_format livermore =
   let validate_format = Option.value ~default:check_format validate_format in
   try
     let model =
@@ -328,8 +346,9 @@ let main target maril strategy source run verify sim_cache trace stats
     in
     let compiled =
       Marion.compile ~check:(not no_check) ~check_options
-        ~validate:(not no_validate) ~jobs ~dag_stats:time_passes ?cache:comp_cache
-        ~on_error ?pass_timeout ~finject model strat ~file:source src
+        ~validate:(not no_validate) ~jobs ~dag_stats:time_passes
+        ~disambig:(not no_disambig) ?cache:comp_cache ~on_error ?pass_timeout
+        ~finject model strat ~file:source src
     in
     let fault_events = compiled.Marion.report.Strategy.faults in
     if fault_events <> [] then begin
@@ -370,6 +389,26 @@ let main target maril strategy source run verify sim_cache trace stats
       | `Json -> output_string stderr (Profile.to_json p ^ "\n")
       | `Text -> output_string stderr (Profile.to_text p)
     end;
+    Option.iter
+      (fun fmt ->
+        let p = compiled.Marion.report.Strategy.profile in
+        match fmt with
+        | `Json ->
+            output_string stderr
+              (Printf.sprintf
+                 "{\"disambig\":%b,\"time_s\":%.6f,\"solves\":%d,\"iterations\":%d,\"facts\":%d,\"queries\":%d,\"pruned\":%d}\n"
+                 (not no_disambig) p.Profile.p_an_time p.Profile.p_an_solves
+                 p.Profile.p_an_iters p.Profile.p_an_facts
+                 p.Profile.p_an_queries p.Profile.p_an_pruned)
+        | `Text ->
+            Printf.eprintf
+              "# analysis: disambig=%s time=%.4fs solves=%d iters=%d \
+               facts=%d queries=%d pruned=%d\n"
+              (if no_disambig then "off" else "on")
+              p.Profile.p_an_time p.Profile.p_an_solves p.Profile.p_an_iters
+              p.Profile.p_an_facts p.Profile.p_an_queries
+              p.Profile.p_an_pruned)
+      analysis_format;
     if ghfill then begin
       let filled =
         List.fold_left
@@ -481,6 +520,7 @@ let cmd =
       $ verify_mir_flag $ no_check_flag $ check_format_arg
       $ no_validate_flag $ validate_format_arg $ cache_arg $ no_cache_flag
       $ cache_stats_flag $ on_error_arg $ pass_timeout_arg $ finject_arg
-      $ strict_flag $ fault_report_arg $ livermore_arg)
+      $ strict_flag $ fault_report_arg $ no_disambig_flag
+      $ analysis_format_arg $ livermore_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,70 @@
+(** A reusable dataflow framework over the MIR control-flow graph.
+
+    A client packages its lattice as a {!DOMAIN} — a fact type with join,
+    equality, a boundary fact and a per-block transfer function — and
+    {!Solve} produces the classic worklist fixpoint over a function's
+    blocks, in either direction. Facts attach to block edges of the flow:
+    for a {e forward} problem the incoming fact of a block is the join of
+    its predecessors' outgoing facts (the entry block additionally joined
+    with the boundary); for a {e backward} problem incoming means {e at
+    block exit} (joined from successors; exit blocks — no successors —
+    get the boundary) and the transfer walks the block in reverse.
+
+    Bottom is represented outside the domain: a block no fact has reached
+    yet simply has no entry in the result, so clients need no artificial
+    bottom element and unreachable blocks are distinguishable from blocks
+    with an empty fact. Termination requires the usual: [join] computes a
+    least upper bound in a lattice of finite height and [transfer] is
+    monotone. *)
+
+type stats = {
+  mutable solves : int;  (** fixpoints computed *)
+  mutable iterations : int;  (** block transfer applications *)
+  mutable facts : int;  (** total fact size at the fixpoint ({!DOMAIN.nfacts}
+                            summed over reached blocks) *)
+}
+
+val fresh_stats : unit -> stats
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type fact
+
+  val direction : direction
+
+  val boundary : Mir.func -> fact
+  (** The fact at the flow's boundary: function entry (forward) or every
+      exit block (backward). *)
+
+  val equal : fact -> fact -> bool
+
+  val join : fact -> fact -> fact
+  (** Least upper bound of two incoming facts. Must be commutative and
+      associative up to [equal]. *)
+
+  val transfer : Mir.func -> Mir.block -> fact -> fact
+  (** The block's effect on a fact, walking its instructions in flow
+      order (reverse instruction order for a backward problem). Must be
+      monotone. *)
+
+  val nfacts : fact -> int
+  (** Size measure for profiling ({!stats.facts}). *)
+end
+
+module Solve (D : DOMAIN) : sig
+  type result
+
+  val solve : ?stats:stats -> Mir.func -> result
+  (** Run the worklist to fixpoint over the function's blocks.
+      [stats], when given, accumulates solver counters. *)
+
+  val flow_in : result -> string -> D.fact option
+  (** Fact flowing {e into} the block's transfer — at block entry for a
+      forward problem, at block exit for a backward one. [None] when no
+      fact reached the block (unreachable along the flow). *)
+
+  val flow_out : result -> string -> D.fact option
+  (** The transfer's output — at block exit (forward) or entry
+      (backward). *)
+end

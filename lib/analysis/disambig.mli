@@ -1,0 +1,26 @@
+(** Static memory disambiguation over one function.
+
+    Built on the {!Addr} address analysis: records, per memory
+    instruction, its accesses with addresses evaluated in the
+    instruction's pre-state, and answers [may_alias] queries for the
+    dependence-DAG builder ({!Dag.build}) — [false] exactly when every
+    access pair is provably disjoint, so the Mem edge between the two
+    instructions can be pruned.
+
+    The oracle is keyed by instruction id and computed from the function
+    state {e before} a scheduling pass runs; because scheduling permutes
+    each block's instruction multiset without rewriting it, the same
+    oracle answers identically for the scheduler and for the Schedval
+    translation validator, which rebuilds the DAG from the pre-pass
+    snapshot. *)
+
+type t
+
+val compute : ?stats:Dataflow.stats -> Mir.func -> t
+(** Solve the address analysis and record every memory instruction's
+    accesses. [stats] accumulates solver counters. *)
+
+val may_alias : t -> Mir.inst -> Mir.inst -> bool
+(** Whether the two instructions' memory accesses can touch a common
+    byte. Conservatively [true] for instructions unknown to the oracle
+    (calls, instructions from another function). *)

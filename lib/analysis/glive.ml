@@ -1,0 +1,154 @@
+(* Global liveness of pseudo-registers: a backward dataflow client of
+   the framework, feeding Mircheck's A001 (may be used uninitialized)
+   and A002 (dead definition) warnings. *)
+
+module IS = Set.Make (Int)
+
+(* fully-written pseudo operand positions: an [Opart] write only touches
+   half the register, so it neither kills liveness nor counts as a dead
+   definition *)
+let full_defs (i : Mir.inst) =
+  List.filter_map
+    (fun pos ->
+      match i.Mir.n_ops.(pos) with Mir.Opreg p -> Some p | _ -> None)
+    i.Mir.n_op.Model.i_writes
+
+let uses (i : Mir.inst) =
+  List.filter_map
+    (function `Preg p -> Some p | `Phys _ -> None)
+    (Mir.inst_uses i)
+  @ List.filter_map
+      (fun pos ->
+        match i.Mir.n_ops.(pos) with
+        | Mir.Opart _ as o -> (
+            (* read-modify-write: the untouched half flows through *)
+            match Mir.operand_reg o with Some (`Preg p) -> Some p | _ -> None)
+        | _ -> None)
+      i.Mir.n_op.Model.i_writes
+
+let step (i : Mir.inst) live =
+  let live =
+    List.fold_left
+      (fun l (p : Mir.preg) -> IS.remove p.Mir.p_id l)
+      live (full_defs i)
+  in
+  List.fold_left (fun l (p : Mir.preg) -> IS.add p.Mir.p_id l) live (uses i)
+
+module Dom = struct
+  type fact = IS.t
+
+  let direction = Dataflow.Backward
+
+  let boundary _ = IS.empty
+
+  let equal = IS.equal
+
+  let join = IS.union
+
+  let transfer _ (b : Mir.block) live = List.fold_right step b.Mir.b_insts live
+
+  let nfacts = IS.cardinal
+end
+
+module S = Dataflow.Solve (Dom)
+
+type t = S.result
+
+let compute = S.solve
+
+let live_in t label = S.flow_out t label
+
+let live_out t label = S.flow_in t label
+
+(* ------------------------------------------------------------------ *)
+(* Clients                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type uninit = { u_preg : Mir.preg; u_block : string; u_inst : Mir.inst option }
+
+let uninitialized t (fn : Mir.func) =
+  match fn.Mir.f_blocks with
+  | [] -> []
+  | entry :: _ -> (
+      match live_in t entry.Mir.b_label with
+      | None -> []
+      | Some ids when IS.is_empty ids -> []
+      | Some ids ->
+          (* find a representative use site per pseudo: the first
+             upward-exposed use in layout order, in a block the pseudo is
+             live into *)
+          let found : (int, uninit) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun (b : Mir.block) ->
+              match live_in t b.Mir.b_label with
+              | None -> ()
+              | Some live ->
+                  let defined = ref IS.empty in
+                  List.iter
+                    (fun (i : Mir.inst) ->
+                      List.iter
+                        (fun (p : Mir.preg) ->
+                          if
+                            IS.mem p.Mir.p_id ids
+                            && IS.mem p.Mir.p_id live
+                            && (not (IS.mem p.Mir.p_id !defined))
+                            && not (Hashtbl.mem found p.Mir.p_id)
+                          then
+                            Hashtbl.replace found p.Mir.p_id
+                              {
+                                u_preg = p;
+                                u_block = b.Mir.b_label;
+                                u_inst = Some i;
+                              })
+                        (uses i);
+                      List.iter
+                        (fun (p : Mir.preg) ->
+                          defined := IS.add p.Mir.p_id !defined)
+                        (full_defs i))
+                    b.Mir.b_insts)
+            fn.Mir.f_blocks;
+          List.filter_map
+            (fun id -> Hashtbl.find_opt found id)
+            (IS.elements ids))
+
+type dead = { k_block : string; k_inst : Mir.inst; k_pregs : Mir.preg list }
+
+(* A dead definition is reportable only when removing the instruction
+   would be observably safe: no memory traffic, no control transfer, no
+   temporal-clock advance, no implicit or named register writes, and
+   every written operand a fully-dead pseudo. *)
+let removable (i : Mir.inst) =
+  let op = i.Mir.n_op in
+  (not op.Model.i_loads) && (not op.Model.i_stores) && (not op.Model.i_branch)
+  && (not op.Model.i_call) && op.Model.i_affects = None && i.Mir.n_xdef = []
+  && op.Model.i_wnames = [] && op.Model.i_writes <> []
+  && List.for_all
+       (fun pos ->
+         match i.Mir.n_ops.(pos) with Mir.Opreg _ -> true | _ -> false)
+       op.Model.i_writes
+
+let dead_stores t (fn : Mir.func) =
+  List.concat_map
+    (fun (b : Mir.block) ->
+      match live_out t b.Mir.b_label with
+      | None -> [] (* no path to an exit: liveness is undefined *)
+      | Some out ->
+          let deads = ref [] in
+          let _ =
+            List.fold_right
+              (fun (i : Mir.inst) live ->
+                let defs = full_defs i in
+                if
+                  removable i
+                  && List.for_all
+                       (fun (p : Mir.preg) -> not (IS.mem p.Mir.p_id live))
+                       defs
+                then
+                  deads :=
+                    { k_block = b.Mir.b_label; k_inst = i; k_pregs = defs }
+                    :: !deads;
+                step i live)
+              b.Mir.b_insts out
+          in
+          !deads)
+    fn.Mir.f_blocks

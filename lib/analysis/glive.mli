@@ -1,0 +1,40 @@
+(** Global liveness of pseudo-registers: a backward client of the
+    {!Dataflow} framework.
+
+    Computes live-in/live-out sets of pseudo-register ids per block, and
+    derives the two facts Mircheck surfaces as warnings on post-selection
+    code: pseudos live into the entry block (possibly used before any
+    assignment on some path — A001) and definitions whose value no path
+    ever reads (A002). Results are plain data — diagnostics rendering
+    stays in [Mircheck], which owns the {!Diag} machinery. *)
+
+type t
+
+val compute : ?stats:Dataflow.stats -> Mir.func -> t
+
+val live_in : t -> string -> Set.Make(Int).t option
+(** Pseudo ids live at the block's entry; [None] when the block reaches
+    no exit (liveness is then undefined). *)
+
+val live_out : t -> string -> Set.Make(Int).t option
+
+type uninit = {
+  u_preg : Mir.preg;
+  u_block : string;  (** block of the representative use (or the entry) *)
+  u_inst : Mir.inst option;  (** first upward-exposed use in layout order *)
+}
+
+val uninitialized : t -> Mir.func -> uninit list
+(** Pseudos live into the entry block, each with a representative use
+    site; ordered by pseudo id. *)
+
+type dead = {
+  k_block : string;
+  k_inst : Mir.inst;
+  k_pregs : Mir.preg list;  (** the dead pseudos it defines *)
+}
+
+val dead_stores : t -> Mir.func -> dead list
+(** Instructions whose every written operand is a fully-dead pseudo and
+    whose removal would be observably safe (no memory, control,
+    temporal or implicit-register effects), in layout order. *)

@@ -169,8 +169,9 @@ let magic = "MARION-CACHE"
 (* Disk-entry layout revision: bumped whenever the Marshal shape of a
    persisted entry changes without affecting key derivation (kept out of
    Ckey.format_version, which is hashed into the keys themselves).
-   rev 2: Pass.stats grew scoreboard probe/conflict/reserve counters. *)
-let entry_rev = 2
+   rev 2: Pass.stats grew scoreboard probe/conflict/reserve counters.
+   rev 3: Pass.stats grew dataflow-analysis counters. *)
+let entry_rev = 3
 
 let version_line =
   Printf.sprintf "format %d.%d marshal %s" Ckey.format_version entry_rev

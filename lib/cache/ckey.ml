@@ -1,6 +1,6 @@
 type t = string
 
-let format_version = 1
+let format_version = 2
 
 let to_hex = Digest.to_hex
 
@@ -185,8 +185,8 @@ let of_model model =
 (* Pipeline identity                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let of_pipeline ~strategy ~passes ~check ~def_use ~hazard_replay ~validate
-    ~dag_stats =
+let of_pipeline ~strategy ~passes ~check ~def_use ~global_dataflow
+    ~hazard_replay ~validate ~dag_stats ~disambig =
   let buf = Buffer.create 128 in
   add_int buf format_version;
   add_str buf strategy;
@@ -195,9 +195,11 @@ let of_pipeline ~strategy ~passes ~check ~def_use ~hazard_replay ~validate
   let flag b = Buffer.add_char buf (if b then '1' else '0') in
   flag check;
   flag def_use;
+  flag global_dataflow;
   flag hazard_replay;
   flag validate;
   flag dag_stats;
+  flag disambig;
   Digest.bytes (Buffer.to_bytes buf)
 
 let combine parts = Digest.string (String.concat "" parts)

@@ -6,9 +6,14 @@
    bug in any one phase shows up as a disagreement here rather than as a
    silent miscompile. *)
 
-type options = { def_use : bool; hazard_replay : bool }
+type options = {
+  def_use : bool;
+  global_dataflow : bool;
+  hazard_replay : bool;
+}
 
-let default_options = { def_use = true; hazard_replay = false }
+let default_options =
+  { def_use = true; global_dataflow = true; hazard_replay = false }
 
 let rank = function
   | Diag.Post_select -> 0
@@ -525,6 +530,34 @@ let check_func ?(options = default_options) phase (fn : Mir.func) :
                        add_inst_defs ks model cur i)
                      b.Mir.b_insts)
            fn.Mir.f_blocks);
+
+  (* -------- global dataflow diagnostics (A001/A002, warnings) ------- *)
+  (* Post_select only: pseudo-registers exist there, and later phases
+     would re-report facts the allocator has already consumed. Both are
+     warnings from the lib/analysis liveness client: A001 overlaps M031's
+     error (the definitely-assigned analysis), but reports per pseudo
+     with its live-in path; A002 has no M-series counterpart. *)
+  (if options.global_dataflow && phase = Diag.Post_select then begin
+     let live = Glive.compute fn in
+     List.iter
+       (fun (u : Glive.uninit) ->
+         let loc =
+           Option.map (fun (i : Mir.inst) -> i.Mir.n_op.Model.i_loc) u.Glive.u_inst
+         in
+         report ~severity:Diag.Warning ?loc ~block:u.Glive.u_block
+           ~code:"A001" "%s is live into the function entry: it may be \
+                         used before being assigned"
+           (preg_name u.Glive.u_preg))
+       (Glive.uninitialized live fn);
+     List.iter
+       (fun (d : Glive.dead) ->
+         report ~severity:Diag.Warning ~loc:d.Glive.k_inst.Mir.n_op.Model.i_loc
+           ~block:d.Glive.k_block ~code:"A002"
+           "%s defines only dead value(s) (%s): the result is never read"
+           d.Glive.k_inst.Mir.n_op.Model.i_name
+           (String.concat ", " (List.map preg_name d.Glive.k_pregs)))
+       (Glive.dead_stores live fn)
+   end);
 
   (* ---------------- hazard replay (M045, opt-in) ---------------- *)
   (if options.hazard_replay && at_least phase Diag.Post_sched then

@@ -34,6 +34,13 @@
 
 type options = {
   def_use : bool;  (** run the definitely-assigned analysis (M031) *)
+  global_dataflow : bool;
+      (** run the global-liveness clients of the dataflow framework
+          ({!Glive}) on post-selection code and report [A001] (pseudo
+          live into the function entry: may be used uninitialized) and
+          [A002] (definition whose value no path reads) warnings. The
+          A-series codes are analysis findings — advisory, never
+          errors. *)
   hazard_replay : bool;
       (** replay the scoreboard/resource model over scheduled blocks and
           report structural stalls as [M045] warnings. Off by default:
@@ -43,7 +50,7 @@ type options = {
 }
 
 val default_options : options
-(** [{ def_use = true; hazard_replay = false }] *)
+(** [{ def_use = true; global_dataflow = true; hazard_replay = false }] *)
 
 val check_func : ?options:options -> Diag.phase -> Mir.func -> Diag.t list
 

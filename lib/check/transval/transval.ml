@@ -55,7 +55,8 @@ let edge_kind_name = function
   | Dag.Anti -> "anti/output (or sequence-protection)"
   | Dag.Temporal k -> Printf.sprintf "temporal (clock %d)" k
 
-let schedval model ?func ?block ~before (out : Mir.inst list) : Diag.t list =
+let schedval model ?func ?block ?oracle ~before (out : Mir.inst list) :
+    Diag.t list =
   let ds = ref [] in
   let report ~code fmt =
     Format.kasprintf
@@ -90,9 +91,10 @@ let schedval model ?func ?block ~before (out : Mir.inst list) : Diag.t list =
           (pp_i model) i)
     body;
   (* rebuild the DAG the scheduler saw — type 1/2/3 edges, %aux latency
-     overrides, temporal sequence protection — and require the output
-     order to respect every edge *)
-  let dag = Dag.build model body in
+     overrides, temporal sequence protection, and the same alias oracle
+     when disambiguation was on — and require the output order to respect
+     every edge *)
+  let dag = Dag.build ?oracle model body in
   List.iter
     (fun (e : Dag.edge) ->
       let src = dag.Dag.insts.(e.Dag.e_src) in
@@ -109,9 +111,24 @@ let schedval model ?func ?block ~before (out : Mir.inst list) : Diag.t list =
     dag.Dag.edges;
   List.rev !ds
 
-let schedval_func ~before (after : Mir.func) =
+let schedval_func ?(disambig = false) ?analysis ~before (after : Mir.func) =
   let model = after.Mir.f_model in
   let func = after.Mir.f_name in
+  (* the same oracle the scheduler used: disambiguation is computed from
+     the pre-pass function state, which is exactly the captured input.
+     [analysis] lets the caller hand over the analysis it already
+     computed from that state (capture preserves instruction ids, so the
+     oracle applies verbatim) instead of solving again. *)
+  let oracle =
+    if disambig then
+      let d =
+        match analysis with
+        | Some d -> d
+        | None -> Disambig.compute before
+      in
+      Some (Dag.oracle (Disambig.may_alias d))
+    else None
+  in
   let ds = ref [] in
   let structure fmt =
     Format.kasprintf
@@ -127,7 +144,7 @@ let schedval_func ~before (after : Mir.func) =
       when b1.Mir.b_label = b2.Mir.b_label ->
         ds :=
           List.rev_append
-            (schedval model ~func ~block:b1.Mir.b_label
+            (schedval model ~func ~block:b1.Mir.b_label ?oracle
                ~before:b1.Mir.b_insts b2.Mir.b_insts)
             !ds;
         pair t1 t2
@@ -646,13 +663,13 @@ let regval_func ~before (after : Mir.func) =
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let validate_func phase ~before (fn : Mir.func) =
+let validate_func ?disambig ?analysis phase ~before (fn : Mir.func) =
   match phase with
   | Diag.Post_regalloc -> regval_func ~before fn
-  | Diag.Post_sched -> schedval_func ~before fn
+  | Diag.Post_sched -> schedval_func ?disambig ?analysis ~before fn
   | Diag.Post_select | Diag.Final -> []
 
-let validate_prog phase ~before (prog : Mir.prog) =
+let validate_prog ?disambig phase ~before (prog : Mir.prog) =
   if not (validated_phase phase) then []
   else begin
     let structure_code =
@@ -668,7 +685,8 @@ let validate_prog phase ~before (prog : Mir.prog) =
         match Hashtbl.find_opt by_name fn.Mir.f_name with
         | Some b ->
             Hashtbl.remove by_name fn.Mir.f_name;
-            ds := List.rev_append (validate_func phase ~before:b fn) !ds
+            ds :=
+              List.rev_append (validate_func ?disambig phase ~before:b fn) !ds
         | None ->
             ds :=
               Diag.make ~phase ~func:fn.Mir.f_name ~code:structure_code

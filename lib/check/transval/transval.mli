@@ -66,20 +66,35 @@ val validated_phase : Diag.phase -> bool
     The pass manager skips the capture for other phases. *)
 
 val schedval :
-  Model.t -> ?func:string -> ?block:string -> before:Mir.inst list ->
-  Mir.inst list -> Diag.t list
+  Model.t -> ?func:string -> ?block:string -> ?oracle:Dag.oracle ->
+  before:Mir.inst list -> Mir.inst list -> Diag.t list
 (** Validate one block's schedule: [schedval model ~before after] checks
     that [after] is a legal linearization of the dependence DAG of
-    [before] (codes V001–V007). [func]/[block] only label the
-    diagnostics. Exposed at block granularity for property tests. *)
+    [before] (codes V001–V007). When the scheduler pruned memory edges
+    through an alias oracle, pass an equivalent [oracle] so the rebuilt
+    DAG matches — the conservative DAG is a superset, so omitting it can
+    only add V005 false positives, never hide a violation.
+    [func]/[block] only label the diagnostics. Exposed at block
+    granularity for property tests. *)
 
-val validate_func : Diag.phase -> before:Mir.func -> Mir.func -> Diag.t list
+val validate_func :
+  ?disambig:bool -> ?analysis:Disambig.t -> Diag.phase -> before:Mir.func ->
+  Mir.func -> Diag.t list
 (** Run the phase's validator over every block pair of (captured input,
     rewritten output). Phases without a validator return []. Regval
     reads the location map from the {e output} function's
-    [Mir.f_locations]. All findings are errors. *)
+    [Mir.f_locations]. With [~disambig:true] (Schedval only) the
+    dependence DAGs are rebuilt through a memory-disambiguation oracle
+    recomputed from the captured input — the same analysis the scheduler
+    ran, so pruned edges are not reported as violations; [analysis]
+    supplies that analysis ready-made (it must have been computed from a
+    state with the captured input's instruction ids and addresses, e.g.
+    by the pass that produced the capture) and skips the recompute.
+    Default [false]: validate against the full conservative DAG. All
+    findings are errors. *)
 
-val validate_prog : Diag.phase -> before:Mir.prog -> Mir.prog -> Diag.t list
+val validate_prog :
+  ?disambig:bool -> Diag.phase -> before:Mir.prog -> Mir.prog -> Diag.t list
 (** {!validate_func} over a whole program, pairing functions by name
     (exposed as [Marion.validate]). Functions present on only one side
     are reported against the phase's block-structure code. *)

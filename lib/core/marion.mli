@@ -33,7 +33,7 @@ val parse_c : file:string -> string -> Cast.tunit
 
 val compile :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t ->
+  ?jobs:int -> ?dag_stats:bool -> ?disambig:bool -> ?cache:Cache.t ->
   ?on_error:Strategy.on_error -> ?pass_timeout:float ->
   ?finject:Finject.plan -> Model.t -> Strategy.name -> file:string ->
   string -> compiled
@@ -54,6 +54,14 @@ val compile :
     {!Strategy.apply}. [dag_stats] adds code-DAG sizes to
     [report.profile] ([marionc --time-passes]).
 
+    [disambig] (default [true], [marionc --no-disambig] to disable) runs
+    the static memory-disambiguation analysis before every scheduling
+    pass so provably independent loads and stores can be reordered: Mem
+    edges between disjoint accesses are pruned from the dependence DAGs,
+    and the translation validators check against the same pruned DAGs.
+    Analysis counters land in [report.profile]
+    ([marionc --analysis-format=]).
+
     [cache] supplies a content-addressed compilation cache ({!Cache},
     [marionc --cache]): per-function results keyed on the post-glue IL,
     the model digest, and the pipeline identity are replayed
@@ -68,7 +76,7 @@ val compile :
 
 val compile_ir :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t ->
+  ?jobs:int -> ?dag_stats:bool -> ?disambig:bool -> ?cache:Cache.t ->
   ?on_error:Strategy.on_error -> ?pass_timeout:float ->
   ?finject:Finject.plan -> Model.t -> Strategy.name -> Ir.prog -> compiled
 (** Same, starting from IL. *)
@@ -78,8 +86,8 @@ val run : ?config:Sim.config -> compiled -> Sim.result
 
 val compile_and_run :
   ?config:Sim.config -> ?check:bool -> ?check_options:Mircheck.options ->
-  ?validate:bool -> ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t ->
-  ?on_error:Strategy.on_error -> ?pass_timeout:float ->
+  ?validate:bool -> ?jobs:int -> ?dag_stats:bool -> ?disambig:bool ->
+  ?cache:Cache.t -> ?on_error:Strategy.on_error -> ?pass_timeout:float ->
   ?finject:Finject.plan -> Model.t -> Strategy.name -> file:string ->
   string -> run_result
 
@@ -94,11 +102,15 @@ val check_mir :
     replay enabled). *)
 
 val validate :
-  Diag.phase -> before:Mir.prog -> Mir.prog -> Diag.t list
+  ?disambig:bool -> Diag.phase -> before:Mir.prog -> Mir.prog ->
+  Diag.t list
 (** {!Transval.validate_prog}: translation-validate a pass's (input,
     output) program pair directly — Schedval for {!Diag.Post_sched},
     Regval for {!Diag.Post_regalloc}. Capture the input with
-    {!Transval.capture} first if the pass rewrites in place. *)
+    {!Transval.capture} first if the pass rewrites in place. Pass
+    [~disambig:true] when the schedule under validation was produced
+    with memory disambiguation on, so the rebuilt DAG prunes the same
+    Mem edges. *)
 
 val interpret : file:string -> string -> Cinterp.result
 (** The reference C interpreter: the differential-testing oracle. *)

@@ -6,6 +6,12 @@ type stats = {
   mutable sb_probes : int;
   mutable sb_conflicts : int;
   mutable sb_reserves : int;
+  mutable an_time : float;
+  mutable an_solves : int;
+  mutable an_iters : int;
+  mutable an_facts : int;
+  mutable an_queries : int;
+  mutable an_pruned : int;
 }
 
 type t = {
@@ -20,7 +26,9 @@ let record_estimate st label cost = st.estimates <- (label, cost) :: st.estimate
 
 let fresh_stats () =
   { spilled = 0; sched_passes = 0; estimates = []; reg_budget = None;
-    sb_probes = 0; sb_conflicts = 0; sb_reserves = 0 }
+    sb_probes = 0; sb_conflicts = 0; sb_reserves = 0;
+    an_time = 0.0; an_solves = 0; an_iters = 0; an_facts = 0;
+    an_queries = 0; an_pruned = 0 }
 
 let run_pipeline ?guard ?(verify = fun _ _ -> ())
     ?(snapshot = fun _ _ -> None) ?(validate = fun _ ~before:_ _ -> ())

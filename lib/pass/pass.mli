@@ -35,6 +35,14 @@ type stats = {
           scheduling passes ({!Scoreboard.stats}) *)
   mutable sb_conflicts : int;  (** probes that found a resource busy *)
   mutable sb_reserves : int;  (** scoreboard reservations (issues) *)
+  mutable an_time : float;
+      (** wall seconds spent in dataflow analysis (address analysis +
+          memory disambiguation) for this function's scheduling passes *)
+  mutable an_solves : int;  (** dataflow fixpoints computed *)
+  mutable an_iters : int;  (** block transfer applications *)
+  mutable an_facts : int;  (** facts at the fixpoints *)
+  mutable an_queries : int;  (** alias-oracle queries from DAG builds *)
+  mutable an_pruned : int;  (** Mem edges pruned as provably independent *)
 }
 
 type t = {

@@ -18,6 +18,12 @@ type t = {
   mutable p_sb_probes : int;
   mutable p_sb_conflicts : int;
   mutable p_sb_reserves : int;
+  mutable p_an_time : float;
+  mutable p_an_solves : int;
+  mutable p_an_iters : int;
+  mutable p_an_facts : int;
+  mutable p_an_queries : int;
+  mutable p_an_pruned : int;
   mutable p_wall : float;
   mutable p_cpu : float;
   mutable p_entries : entry list;
@@ -45,6 +51,12 @@ let create ?(jobs = 1) ~strategy () =
     p_sb_probes = 0;
     p_sb_conflicts = 0;
     p_sb_reserves = 0;
+    p_an_time = 0.0;
+    p_an_solves = 0;
+    p_an_iters = 0;
+    p_an_facts = 0;
+    p_an_queries = 0;
+    p_an_pruned = 0;
     p_wall = 0.0;
     p_cpu = 0.0;
     p_entries = [];
@@ -91,6 +103,12 @@ let to_text t =
     Printf.bprintf buf
       "#   scoreboard: probes=%d conflicts=%d reserves=%d\n" t.p_sb_probes
       t.p_sb_conflicts t.p_sb_reserves;
+  if t.p_an_solves > 0 || t.p_an_queries > 0 then
+    Printf.bprintf buf
+      "#   analysis: time=%.6fs solves=%d iters=%d facts=%d queries=%d \
+       pruned=%d\n"
+      t.p_an_time t.p_an_solves t.p_an_iters t.p_an_facts t.p_an_queries
+      t.p_an_pruned;
   if t.p_cache_used then
     Printf.bprintf buf
       "#   cache: hits=%d misses=%d evictions=%d stale=%d\n" t.p_cache_hits
@@ -119,6 +137,19 @@ let to_json t =
           field "wall_s" (num e.e_wall);
           field "cpu_s" (num e.e_cpu);
           field "runs" (string_of_int e.e_runs);
+        ]
+    ^ "}"
+  in
+  let analysis =
+    "{"
+    ^ String.concat ","
+        [
+          field "time_s" (num t.p_an_time);
+          field "solves" (string_of_int t.p_an_solves);
+          field "iterations" (string_of_int t.p_an_iters);
+          field "facts" (string_of_int t.p_an_facts);
+          field "queries" (string_of_int t.p_an_queries);
+          field "pruned" (string_of_int t.p_an_pruned);
         ]
     ^ "}"
   in
@@ -154,6 +185,7 @@ let to_json t =
         field "skipped" (string_of_int t.p_skipped);
         field "wall_s" (num t.p_wall);
         field "cpu_s" (num t.p_cpu);
+        field "analysis" analysis;
         field "cache" cache;
         field "passes"
           ("[" ^ String.concat "," (List.map pass t.p_entries) ^ "]");

@@ -38,6 +38,16 @@ type t = {
       (** scoreboard resource probes across all scheduling passes *)
   mutable p_sb_conflicts : int;  (** probes that found a resource busy *)
   mutable p_sb_reserves : int;  (** scoreboard reservations (issues) *)
+  mutable p_an_time : float;
+      (** wall seconds spent in dataflow analysis (address analysis for
+          memory disambiguation) across all functions; [0.] with
+          [--no-disambig]. Summed across domains under [jobs > 1] *)
+  mutable p_an_solves : int;  (** dataflow fixpoints computed *)
+  mutable p_an_iters : int;  (** dataflow block-transfer applications *)
+  mutable p_an_facts : int;  (** facts computed at the fixpoints *)
+  mutable p_an_queries : int;  (** alias-oracle queries from DAG builds *)
+  mutable p_an_pruned : int;
+      (** Mem edges pruned as provably independent *)
   mutable p_wall : float;  (** whole-compile wall seconds (monotonic) *)
   mutable p_cpu : float;  (** whole-compile CPU seconds, summed over
                               domains — [p_cpu > p_wall] means the domain
@@ -82,5 +92,7 @@ val to_text : t -> string
 val to_json : t -> string
 (** One JSON object:
     [{"strategy":…,"jobs":…,"funcs":…,…,"wall_s":…,"cpu_s":…,
+      "analysis":{"time_s":…,"solves":…,"iterations":…,"facts":…,
+      "queries":…,"pruned":…},
       "cache":{"used":…,"hits":…,…},
       "passes":[{"name":…,"wall_s":…,"cpu_s":…,"runs":…},…]}]. *)

@@ -9,7 +9,16 @@ type t = {
   edges : edge list;
 }
 
-let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
+type oracle = {
+  o_alias : Mir.inst -> Mir.inst -> bool;
+  mutable o_queries : int;
+  mutable o_pruned : int;
+}
+
+let oracle f = { o_alias = f; o_queries = 0; o_pruned = 0 }
+
+let build ?(anti = true) ?(aux = true) ?oracle model (insts : Mir.inst list) :
+    t =
   let dep_latency =
     if aux then
       let lat = Latency.for_model model in
@@ -50,6 +59,32 @@ let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
   let last_store = ref None in
   let mem_readers = ref [] in
   let last_call = ref None in
+  (* oracle path: memory nodes tracked since the last call barrier (most
+     recent first), plus per-node closures over Mem ordering — [mem_before]
+     holds, for each memory node, the set of memory nodes already ordered
+     before it, so an edge to an already-ordered candidate is skipped
+     (transitive reduction) without losing the constraint *)
+  let mem_stores = ref [] in
+  let mem_loads = ref [] in
+  let mem_before : Bitset.t option array = Array.make n None in
+  let before_of x =
+    match mem_before.(x) with
+    | Some b -> b
+    | None ->
+        let b = Bitset.create n in
+        mem_before.(x) <- Some b;
+        b
+  in
+  (* order node j before node i: add the Mem edge unless j is already
+     transitively before i, and absorb j's closure either way *)
+  let mem_order j i =
+    let bi = before_of i in
+    if not (Bitset.mem bi j) then begin
+      add_edge j i 1 Mem;
+      Bitset.union_into ~dst:bi (before_of j);
+      Bitset.set bi j
+    end
+  in
   for i = 0 to n - 1 do
     let inst = arr.(i) in
     let reads = Locs.reads model inst in
@@ -97,16 +132,61 @@ let build ?(anti = true) ?(aux = true) model (insts : Mir.inst list) : t =
     (* type 2: memory ordering; calls are memory barriers *)
     let acts_on_memory_r = inst.Mir.n_op.Model.i_loads || inst.Mir.n_op.Model.i_call in
     let acts_on_memory_w = inst.Mir.n_op.Model.i_stores || inst.Mir.n_op.Model.i_call in
-    if acts_on_memory_r then begin
-      (match !last_store with Some s -> add_edge s i 1 Mem | None -> ());
-      mem_readers := i :: !mem_readers
-    end;
-    if acts_on_memory_w then begin
-      (match !last_store with Some s -> add_edge s i 1 Mem | None -> ());
-      List.iter (fun r -> add_edge r i 1 Mem) !mem_readers;
-      last_store := Some i;
-      mem_readers := []
-    end;
+    (match oracle with
+    | None ->
+        (* conservative serialization: every reader behind the last store,
+           every store behind the last store and all outstanding readers.
+           When readers are outstanding the last store is already ordered
+           before each of them, so the direct store-to-store edge would be
+           redundant — skip it instead of double-counting the pair *)
+        if acts_on_memory_r then begin
+          (match !last_store with Some s -> add_edge s i 1 Mem | None -> ());
+          mem_readers := i :: !mem_readers
+        end;
+        if acts_on_memory_w then begin
+          (match !last_store with
+          | Some s when !mem_readers = [] -> add_edge s i 1 Mem
+          | Some _ | None -> ());
+          List.iter (fun r -> add_edge r i 1 Mem) !mem_readers;
+          last_store := Some i;
+          mem_readers := []
+        end
+    | Some o ->
+        let candidate j =
+          (* a candidate already transitively ordered before [i] needs
+             neither an edge nor an oracle consultation; scanning most
+             recent first, a chain of conflicting accesses costs one
+             query per node instead of one per pair *)
+          if not (Bitset.mem (before_of i) j) then begin
+            let jinst = arr.(j) in
+            if jinst.Mir.n_op.Model.i_call then mem_order j i
+            else begin
+              o.o_queries <- o.o_queries + 1;
+              if o.o_alias jinst inst then mem_order j i
+              else o.o_pruned <- o.o_pruned + 1
+            end
+          end
+        in
+        if inst.Mir.n_op.Model.i_call then begin
+          (* barrier: the generic call edges above already order every
+             prior node; record the closure and reset the tracked sets *)
+          Bitset.set_range (before_of i) 0 i;
+          mem_stores := [ i ];
+          mem_loads := []
+        end
+        else begin
+          if acts_on_memory_r then List.iter candidate !mem_stores;
+          if acts_on_memory_w then begin
+            List.iter candidate !mem_loads;
+            List.iter candidate !mem_stores
+          end;
+          (* readers are not cleared when a store arrives: with pruning, a
+             later store may be independent of this store yet conflict
+             with an earlier reader the conservative path would have
+             retired *)
+          if acts_on_memory_r then mem_loads := i :: !mem_loads;
+          if acts_on_memory_w then mem_stores := i :: !mem_stores
+        end);
     (* update reader/writer tracking; an entry dies only when a new write
        covers it completely *)
     readers :=

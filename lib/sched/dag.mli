@@ -27,11 +27,32 @@ type t = {
   edges : edge list;
 }
 
-val build : ?anti:bool -> ?aux:bool -> Model.t -> Mir.inst list -> t
+type oracle = {
+  o_alias : Mir.inst -> Mir.inst -> bool;
+      (** may the two instructions' memory accesses touch a common byte?
+          Must be conservative: [false] only when provably disjoint *)
+  mutable o_queries : int;  (** alias queries issued by {!build} *)
+  mutable o_pruned : int;
+      (** queried pairs proven independent (and not already transitively
+          ordered), i.e. Mem edges pruned *)
+}
+
+val oracle : (Mir.inst -> Mir.inst -> bool) -> oracle
+(** Wrap an alias predicate with zeroed counters. *)
+
+val build :
+  ?anti:bool -> ?aux:bool -> ?oracle:oracle -> Model.t -> Mir.inst list -> t
 (** [anti] (default true) controls inclusion of type-3 edges; [aux]
     (default true) controls whether %aux directives override latencies —
     turning it off is an ablation: the machine still behaves per %aux, the
-    scheduler just stops knowing about it. *)
+    scheduler just stops knowing about it.
+
+    [oracle] enables static memory disambiguation of the type-2 edges:
+    instead of serializing all memory traffic behind the last store, each
+    load is ordered behind every {e aliasing} earlier store and each store
+    behind every aliasing earlier load and store, with per-node closures
+    keeping the edge set transitively reduced. Calls remain full barriers.
+    Without an oracle the conservative serialization is used. *)
 
 val roots : t -> int list
 (** Nodes with no predecessors. *)

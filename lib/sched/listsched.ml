@@ -38,13 +38,15 @@ let pregs_of_inst which (i : Mir.inst) =
       | Some (`Phys _) | None -> None)
     which
 
-let schedule_block ?(options = default_options) ?sb_stats (fn : Mir.func)
-    (insts : Mir.inst list) : result =
+let schedule_block ?(options = default_options) ?oracle ?sb_stats
+    (fn : Mir.func) (insts : Mir.inst list) : result =
   let model = fn.Mir.f_model in
   match List.filter (fun i -> not (is_nop i)) insts with
   | [] -> { order = []; length = 0 }
   | insts ->
-      let dag = Dag.build ~anti:options.anti ~aux:options.aux model insts in
+      let dag =
+        Dag.build ~anti:options.anti ~aux:options.aux ?oracle model insts
+      in
       let n = Array.length dag.Dag.insts in
       let prio =
         match options.priority with
@@ -256,17 +258,17 @@ let schedule_block ?(options = default_options) ?sb_stats (fn : Mir.func)
       end
       else { order = final_insts; length = max_cycle + 1 }
 
-let schedule_func ?options ?sb_stats (fn : Mir.func) =
+let schedule_func ?options ?oracle ?sb_stats (fn : Mir.func) =
   List.fold_left
     (fun acc (b : Mir.block) ->
-      let r = schedule_block ?options ?sb_stats fn b.Mir.b_insts in
+      let r = schedule_block ?options ?oracle ?sb_stats fn b.Mir.b_insts in
       b.Mir.b_insts <- r.order;
       acc + r.length)
     0 fn.Mir.f_blocks
 
-let estimate_func ?options ?sb_stats (fn : Mir.func) =
+let estimate_func ?options ?oracle ?sb_stats (fn : Mir.func) =
   List.map
     (fun (b : Mir.block) ->
-      let r = schedule_block ?options ?sb_stats fn b.Mir.b_insts in
+      let r = schedule_block ?options ?oracle ?sb_stats fn b.Mir.b_insts in
       (b.Mir.b_label, r.length))
     fn.Mir.f_blocks

@@ -49,18 +49,21 @@ type result = {
 }
 
 val schedule_block :
-  ?options:options -> ?sb_stats:Scoreboard.stats -> Mir.func ->
-  Mir.inst list -> result
-(** [sb_stats], when given, accumulates scoreboard probe/conflict/reserve
-    counts across the call (surfaced by [--time-passes]). *)
+  ?options:options -> ?oracle:Dag.oracle -> ?sb_stats:Scoreboard.stats ->
+  Mir.func -> Mir.inst list -> result
+(** [oracle] is handed to {!Dag.build} for static memory disambiguation
+    of the block's Mem edges. [sb_stats], when given, accumulates
+    scoreboard probe/conflict/reserve counts across the call (surfaced by
+    [--time-passes]). *)
 
 val schedule_func :
-  ?options:options -> ?sb_stats:Scoreboard.stats -> Mir.func -> int
+  ?options:options -> ?oracle:Dag.oracle -> ?sb_stats:Scoreboard.stats ->
+  Mir.func -> int
 (** Schedule every block in place; returns the total of block lengths. *)
 
 val estimate_func :
-  ?options:options -> ?sb_stats:Scoreboard.stats -> Mir.func ->
-  (string * int) list
+  ?options:options -> ?oracle:Dag.oracle -> ?sb_stats:Scoreboard.stats ->
+  Mir.func -> (string * int) list
 (** Block label and schedule length, without rewriting — schedule cost
     estimates as used by RASE and by the Table 4 estimated-cycles
     methodology. *)

@@ -82,11 +82,45 @@ let with_sb_stats st f =
   st.Pass.sb_reserves <- st.Pass.sb_reserves + sb.Scoreboard.reserves;
   r
 
-let record_estimates st fn options =
+(* every scheduling-flavored pass body runs through here: with [disambig]
+   it computes the memory-disambiguation oracle once from the pass's
+   input state — the same snapshot Schedval captures, so the validator
+   can rebuild an identical DAG — and folds analysis time and counters
+   into the pass stats. Without it, [f None] is exactly the old path. *)
+(* the analysis most recently computed by [with_oracle] on this domain,
+   handed to the Schedval validator of the same pass so it need not solve
+   again: the validator's [before] capture preserves instruction ids, so
+   an analysis computed from the pass's input state applies verbatim.
+   [compile_unit] clears it when capturing and consumes it at most once,
+   so a validated pass that never computed an analysis (e.g. allocation)
+   can never pick up a stale one. Domain-local because parallel compiles
+   run whole functions on separate domains. *)
+let analysis_stash : Disambig.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_oracle ~disambig st fn f =
+  if not disambig then f None
+  else begin
+    let dstats = Dataflow.fresh_stats () in
+    let t0 = Mclock.wall () in
+    let d = Disambig.compute ~stats:dstats fn in
+    Domain.DLS.get analysis_stash := Some d;
+    st.Pass.an_time <- st.Pass.an_time +. (Mclock.wall () -. t0);
+    st.Pass.an_solves <- st.Pass.an_solves + dstats.Dataflow.solves;
+    st.Pass.an_iters <- st.Pass.an_iters + dstats.Dataflow.iterations;
+    st.Pass.an_facts <- st.Pass.an_facts + dstats.Dataflow.facts;
+    let o = Dag.oracle (Disambig.may_alias d) in
+    let r = f (Some o) in
+    st.Pass.an_queries <- st.Pass.an_queries + o.Dag.o_queries;
+    st.Pass.an_pruned <- st.Pass.an_pruned + o.Dag.o_pruned;
+    r
+  end
+
+let record_estimates ?oracle st fn options =
   List.iter
     (fun (label, len) -> Pass.record_estimate st label len)
     (with_sb_stats st (fun sb ->
-         Listsched.estimate_func ~options ~sb_stats:sb fn));
+         Listsched.estimate_func ~options ?oracle ~sb_stats:sb fn));
   st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn
 
 let p_allocate =
@@ -104,15 +138,25 @@ let p_allocate_local =
 let p_fill_delay =
   Pass.v ~post:Diag.Post_sched "fill-delay" (fun _ fn -> Delay.fill_func fn)
 
-let p_schedule =
+let p_schedule ~disambig =
   Pass.v ~post:Diag.Post_sched "schedule" (fun st fn ->
-      ignore
-        (with_sb_stats st (fun sb -> Listsched.schedule_func ~sb_stats:sb fn));
+      with_oracle ~disambig st fn (fun oracle ->
+          ignore
+            (with_sb_stats st (fun sb ->
+                 Listsched.schedule_func ?oracle ~sb_stats:sb fn)));
       st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn)
 
 (* IPS prepass: schedule under a register-use limit so the allocator sees
    the schedule's register appetite; no post-condition — the output is
-   rescheduled after allocation *)
+   rescheduled after allocation.
+
+   Deliberately oracle-free, like every pre-allocation scheduling pass:
+   pruning Mem edges here lets the prepass hoist loads across stores,
+   stretching live ranges before the allocator runs. Measured on the
+   Livermore corpus that freedom made allocation slower and spillier and
+   cost cycles on the register-poorest target; the post-allocation
+   schedule pass reorders through the oracle instead, where extra
+   freedom cannot create spills. *)
 let p_ips_prepass =
   Pass.v "ips-prepass" (fun st fn ->
       let options =
@@ -123,15 +167,18 @@ let p_ips_prepass =
              Listsched.schedule_func ~options ~sb_stats:sb fn));
       st.Pass.sched_passes <- st.Pass.sched_passes + count_blocks fn)
 
-let p_estimate =
+let p_estimate ~disambig =
   Pass.v "estimate" (fun st fn ->
-      record_estimates st fn Listsched.default_options)
+      with_oracle ~disambig st fn (fun oracle ->
+          record_estimates ?oracle st fn Listsched.default_options))
 
 (* the "estimate" of unscheduled (naive) code is its in-order issue span.
    NOTE: estimating naive code with the list scheduler slightly flatters
    it; the naive strategy is only a baseline *)
-let p_estimate_inorder =
-  Pass.v "estimate-inorder" (fun st fn -> record_estimates st fn no_delay)
+let p_estimate_inorder ~disambig =
+  Pass.v "estimate-inorder" (fun st fn ->
+      with_oracle ~disambig st fn (fun oracle ->
+          record_estimates ?oracle st fn no_delay))
 
 (* The largest register budget worth exploring for RASE estimates. *)
 let max_budget (model : Model.t) =
@@ -143,6 +190,10 @@ let max_budget (model : Model.t) =
 (* RASE's expensive half: gather schedule cost estimates under varying
    register budgets (the scheduler runs once per budget per block) and
    keep the budget where the estimated cost stops improving *)
+(* oracle-free like [p_ips_prepass]: the sweep's estimates must model
+   the schedules the (pre-allocation, hence conservative) rase-prepass
+   will actually produce, or the chosen budget is tuned for a different
+   scheduler than the one that runs *)
 let p_rase_sweep =
   Pass.v "rase-sweep" (fun st fn ->
       let budgets = max_budget fn.Mir.f_model in
@@ -168,7 +219,8 @@ let p_rase_sweep =
       st.Pass.reg_budget <- Some !best)
 
 (* prepass under the chosen budget communicates the schedule's register
-   appetite to the allocator *)
+   appetite to the allocator; pre-allocation, so oracle-free — see
+   [p_ips_prepass] *)
 let p_rase_prepass =
   Pass.v "rase-prepass" (fun st fn ->
       let budget = Option.value ~default:1 st.Pass.reg_budget in
@@ -183,14 +235,23 @@ let p_rase_prepass =
 let p_frame =
   Pass.v ~post:Diag.Final "frame-layout" (fun _ fn -> Frame.layout fn)
 
-let pipeline = function
-  | Naive -> [ p_allocate_local; p_fill_delay; p_estimate_inorder; p_frame ]
-  | Postpass -> [ p_allocate; p_schedule; p_estimate; p_frame ]
-  | Ips -> [ p_ips_prepass; p_allocate; p_schedule; p_estimate; p_frame ]
+let pipeline ?(disambig = true) = function
+  | Naive ->
+      [
+        p_allocate_local; p_fill_delay; p_estimate_inorder ~disambig;
+        p_frame;
+      ]
+  | Postpass ->
+      [ p_allocate; p_schedule ~disambig; p_estimate ~disambig; p_frame ]
+  | Ips ->
+      [
+        p_ips_prepass; p_allocate; p_schedule ~disambig;
+        p_estimate ~disambig; p_frame;
+      ]
   | Rase ->
       [
-        p_rase_sweep; p_rase_prepass; p_allocate; p_schedule; p_estimate;
-        p_frame;
+        p_rase_sweep; p_rase_prepass; p_allocate;
+        p_schedule ~disambig; p_estimate ~disambig; p_frame;
       ]
 
 (* ------------------------------------------------------------------ *)
@@ -222,7 +283,7 @@ let count_insts (fn : Mir.func) =
     0 fn.Mir.f_blocks
 
 let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
-    ~robust strategy (fn : Mir.func) =
+    ~disambig ~robust strategy (fn : Mir.func) =
   let diags = ref [] in
   let check_wall = ref 0.0 in
   let vdiags = ref [] in
@@ -260,6 +321,7 @@ let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
      time themselves into [validate_wall]. *)
   let snapshot phase fn =
     if validate_on && Transval.validated_phase phase then begin
+      Domain.DLS.get analysis_stash := None;
       let copy, dt =
         timed
           ("validate:capture:" ^ Diag.phase_name phase)
@@ -271,10 +333,18 @@ let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
     else None
   in
   let validate phase ~before fn =
+    (* anything stashed was computed during this pass's body, i.e. from
+       exactly the state [before] captures *)
+    let analysis =
+      let r = Domain.DLS.get analysis_stash in
+      let d = !r in
+      r := None;
+      d
+    in
     let ds, dt =
       timed
         ("validate:" ^ Diag.phase_name phase)
-        (fun () -> Transval.validate_func phase ~before fn)
+        (fun () -> Transval.validate_func ~disambig ?analysis phase ~before fn)
     in
     validate_wall := !validate_wall +. dt;
     (match Diag.errors ds with
@@ -310,7 +380,7 @@ let compile_unit ~check ~check_options ~validate:validate_on ~dag_stats
   in
   let st =
     Pass.run_pipeline ?guard ~verify ~snapshot ~validate ~record
-      (pipeline strategy) fn
+      (pipeline ~disambig strategy) fn
   in
   {
     u_stats = st;
@@ -389,20 +459,20 @@ let skipped_unit fn events =
    Naive, recompiling only this function; under [`Skip], or when the
    ladder is exhausted, the function is given up at its pristine state
    and marked skipped. *)
-let compile_fn ~check ~check_options ~validate ~dag_stats ~robust ~fresh
-    strategy =
+let compile_fn ~check ~check_options ~validate ~dag_stats ~disambig ~robust
+    ~fresh strategy =
   if robust_trivial robust then
     let fn = fresh () in
-    ( compile_unit ~check ~check_options ~validate ~dag_stats ~robust
-        strategy fn,
+    ( compile_unit ~check ~check_options ~validate ~dag_stats ~disambig
+        ~robust strategy fn,
       fn,
       strategy )
   else
     let rec attempt rung faults =
       let fn = fresh () in
       match
-        compile_unit ~check ~check_options ~validate ~dag_stats ~robust
-          rung fn
+        compile_unit ~check ~check_options ~validate ~dag_stats ~disambig
+          ~robust rung fn
       with
       | u ->
           let events =
@@ -472,6 +542,18 @@ let merge_units prof strategy units : report =
         prof.Profile.p_sb_conflicts + u.u_stats.Pass.sb_conflicts;
       prof.Profile.p_sb_reserves <-
         prof.Profile.p_sb_reserves + u.u_stats.Pass.sb_reserves;
+      prof.Profile.p_an_time <-
+        prof.Profile.p_an_time +. u.u_stats.Pass.an_time;
+      prof.Profile.p_an_solves <-
+        prof.Profile.p_an_solves + u.u_stats.Pass.an_solves;
+      prof.Profile.p_an_iters <-
+        prof.Profile.p_an_iters + u.u_stats.Pass.an_iters;
+      prof.Profile.p_an_facts <-
+        prof.Profile.p_an_facts + u.u_stats.Pass.an_facts;
+      prof.Profile.p_an_queries <-
+        prof.Profile.p_an_queries + u.u_stats.Pass.an_queries;
+      prof.Profile.p_an_pruned <-
+        prof.Profile.p_an_pruned + u.u_stats.Pass.an_pruned;
       List.iter
         (fun (label, len) -> Hashtbl.replace estimates label len)
         u.u_stats.Pass.estimates;
@@ -516,8 +598,8 @@ let merge_units prof strategy units : report =
   }
 
 let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
-    ?(dag_stats = false) ?profile ?on_error ?pass_timeout ?finject strategy
-    (prog : Mir.prog) : report =
+    ?(dag_stats = false) ?(disambig = true) ?profile ?on_error ?pass_timeout
+    ?finject strategy (prog : Mir.prog) : report =
   let w0 = Mclock.wall () and c0 = Mclock.cpu () in
   let robust = make_robust ?on_error ?pass_timeout ?finject () in
   let prof =
@@ -535,8 +617,8 @@ let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
     Dpool.map ~jobs
       (fun fn ->
         if robust_trivial robust then
-          compile_unit ~check ~check_options ~validate ~dag_stats ~robust
-            strategy fn
+          compile_unit ~check ~check_options ~validate ~dag_stats ~disambig
+            ~robust strategy fn
         else begin
           let pristine = snapshot_func fn in
           let first = ref true in
@@ -548,8 +630,8 @@ let apply ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
             else snapshot_func pristine
           in
           let u, final, _rung =
-            compile_fn ~check ~check_options ~validate ~dag_stats ~robust
-              ~fresh strategy
+            compile_fn ~check ~check_options ~validate ~dag_stats ~disambig
+              ~robust ~fresh strategy
           in
           if final != fn then splice ~into:fn final;
           u
@@ -600,8 +682,8 @@ let lint_model model =
           ds)
 
 let compile ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
-    ?(dag_stats = false) ?cache ?on_error ?pass_timeout ?finject model
-    strategy (ir : Ir.prog) =
+    ?(dag_stats = false) ?(disambig = true) ?cache ?on_error ?pass_timeout
+    ?finject model strategy (ir : Ir.prog) =
   let w0 = Mclock.wall () and c0 = Mclock.cpu () in
   let robust = make_robust ?on_error ?pass_timeout ?finject () in
   let prof = Profile.create ~jobs ~strategy:(to_string strategy) () in
@@ -631,9 +713,14 @@ let compile ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
   let opts = Option.value ~default:Mircheck.default_options check_options in
   let pipeline_digest =
     Ckey.of_pipeline ~strategy:(to_string strategy)
-      ~passes:(List.map (fun (p : Pass.t) -> p.Pass.name) (pipeline strategy))
+      ~passes:
+        (List.map
+           (fun (p : Pass.t) -> p.Pass.name)
+           (pipeline ~disambig strategy))
       ~check ~def_use:opts.Mircheck.def_use
+      ~global_dataflow:opts.Mircheck.global_dataflow
       ~hazard_replay:opts.Mircheck.hazard_replay ~validate ~dag_stats
+      ~disambig
   in
   (* the identity a fallback rung's result is cached under: same flag
      set as [pipeline_digest], recomputed for whichever rung actually
@@ -643,9 +730,14 @@ let compile ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
     if rung = strategy then pipeline_digest
     else
       Ckey.of_pipeline ~strategy:(to_string rung)
-        ~passes:(List.map (fun (p : Pass.t) -> p.Pass.name) (pipeline rung))
+        ~passes:
+          (List.map
+             (fun (p : Pass.t) -> p.Pass.name)
+             (pipeline ~disambig rung))
         ~check ~def_use:opts.Mircheck.def_use
+        ~global_dataflow:opts.Mircheck.global_dataflow
         ~hazard_replay:opts.Mircheck.hazard_replay ~validate ~dag_stats
+        ~disambig
   in
   let model_digest =
     match cache with Some _ -> Ckey.of_model model | None -> ""
@@ -662,8 +754,8 @@ let compile ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
       let w = Mclock.wall () -. t0 and c = Mclock.thread_cpu () -. tc0 in
       let u, fn, rung =
         if robust_trivial robust then
-          ( compile_unit ~check ~check_options ~validate ~dag_stats ~robust
-              strategy fn0,
+          ( compile_unit ~check ~check_options ~validate ~dag_stats
+              ~disambig ~robust strategy fn0,
             fn0,
             strategy )
         else begin
@@ -676,8 +768,8 @@ let compile ?(check = true) ?check_options ?(validate = true) ?(jobs = 1)
             end
             else snapshot_func pristine
           in
-          compile_fn ~check ~check_options ~validate ~dag_stats ~robust
-            ~fresh strategy
+          compile_fn ~check ~check_options ~validate ~dag_stats ~disambig
+            ~robust ~fresh strategy
         end
       in
       ({ u with u_times = ("select", w, c) :: u.u_times }, fn, rung)

@@ -30,10 +30,20 @@ val to_string : name -> string
 
 val of_string : string -> name option
 
-val pipeline : name -> Pass.t list
+val pipeline : ?disambig:bool -> name -> Pass.t list
 (** The strategy's phase ordering, in execution order. All
     strategy-specific allocation/scheduling behaviour lives in these pass
-    definitions; {!apply} contains none. *)
+    definitions; {!apply} contains none. With [disambig] (the default)
+    every {e post-allocation} scheduling or estimate pass computes a
+    static memory-disambiguation oracle from its input ({!Disambig}) and
+    hands it to the DAG builder, so provably independent memory accesses
+    carry no Mem edge. Pre-allocation passes (the IPS and RASE
+    prepasses, and the RASE budget sweep that models them) deliberately
+    stay conservative: hoisting loads across stores before the
+    allocator runs stretches live ranges, and on the Livermore corpus
+    costs more in spills than the reordering freedom buys. Pass names
+    are identical either way — the flag is part of the cache key
+    ({!Ckey.of_pipeline}), not the pass list. *)
 
 type on_error = [ `Abort | `Degrade | `Skip ]
 (** What the driver does when a pass faults — raises, exceeds the pass
@@ -98,9 +108,9 @@ type report = {
 
 val apply :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> ?profile:Profile.t -> ?on_error:on_error ->
-  ?pass_timeout:float -> ?finject:Finject.plan -> name -> Mir.prog ->
-  report
+  ?jobs:int -> ?dag_stats:bool -> ?disambig:bool -> ?profile:Profile.t ->
+  ?on_error:on_error -> ?pass_timeout:float -> ?finject:Finject.plan ->
+  name -> Mir.prog -> report
 (** Run the strategy's pipeline over every function of a selected
     program: scheduling and register allocation per the strategy, then
     frame layout. The program is rewritten in place and is ready for the
@@ -132,8 +142,18 @@ val apply :
 
     [dag_stats] (default false) additionally sizes each block's
     post-select code DAG into the profile (costs one extra DAG build per
-    block). [profile] accumulates into a caller-owned profile instead of
-    a fresh one; the caller then owns its wall/cpu totals.
+    block; always the conservative DAG, so the statistic is comparable
+    across [disambig] settings). [profile] accumulates into a
+    caller-owned profile instead of a fresh one; the caller then owns
+    its wall/cpu totals.
+
+    [disambig] (default true) runs static memory disambiguation before
+    every post-allocation scheduling pass and prunes provably
+    independent Mem edges from the dependence DAGs (see {!pipeline});
+    the translation validators rebuild their DAGs through the same
+    oracle. Analysis time and
+    pruning counters land in the profile ([Profile.p_an_time] etc.).
+    [marionc --no-disambig] turns it off.
 
     [on_error], [pass_timeout] and [finject] activate the fault-isolation
     layer: every pass body runs under a {!Guard} that traps exceptions
@@ -147,9 +167,9 @@ val apply :
 
 val compile :
   ?check:bool -> ?check_options:Mircheck.options -> ?validate:bool ->
-  ?jobs:int -> ?dag_stats:bool -> ?cache:Cache.t -> ?on_error:on_error ->
-  ?pass_timeout:float -> ?finject:Finject.plan -> Model.t -> name ->
-  Ir.prog -> Mir.prog * report
+  ?jobs:int -> ?dag_stats:bool -> ?disambig:bool -> ?cache:Cache.t ->
+  ?on_error:on_error -> ?pass_timeout:float -> ?finject:Finject.plan ->
+  Model.t -> name -> Ir.prog -> Mir.prog * report
 (** The incremental whole-program driver: lint (when [check]), glue the
     IL to the model sequentially, then fan one unit per function out over
     the domain pool — each unit selects and runs the strategy pipeline

@@ -302,7 +302,11 @@ let test_disk_wrong_version_is_a_miss () =
       let n = in_channel_length ic in
       let s = really_input_string ic n in
       close_in ic;
-      let s = replace_first ~pat:"format 1." ~by:"format 9999." s in
+      let s =
+        replace_first
+          ~pat:(Printf.sprintf "format %d." Ckey.format_version)
+          ~by:"format 9999." s
+      in
       let oc = open_out_bin path in
       output_string oc s;
       close_out oc

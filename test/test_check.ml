@@ -92,13 +92,26 @@ let clean_src =
     }|}
 
 let test_clean_compiles_no_diags () =
+  (* A-series analysis findings are advisory and expected even on clean
+     source (the front end materializes discarded expression values, so
+     the dead-store client legitimately fires); anything else is a
+     regression *)
+  let advisory (d : Diag.t) =
+    String.length d.Diag.code > 0
+    && d.Diag.code.[0] = 'A'
+    && d.Diag.severity = Diag.Warning
+  in
   List.iter
     (fun (tname, model) ->
       let m = Lazy.force model in
       List.iter
         (fun strat ->
           let c = Marion.compile m strat ~file:"<clean.c>" clean_src in
-          match c.Marion.report.Strategy.check_diags with
+          match
+            List.filter
+              (fun d -> not (advisory d))
+              c.Marion.report.Strategy.check_diags
+          with
           | [] -> ()
           | ds ->
               Alcotest.failf "%s/%s: unexpected diagnostics: %s" tname
@@ -120,7 +133,9 @@ let test_verify_mir_no_errors () =
   let ds = c.Marion.report.Strategy.check_diags in
   check Alcotest.bool "no errors" false (Diag.has_errors ds);
   List.iter
-    (fun d -> check Alcotest.string "only replay warnings" "M045" d.Diag.code)
+    (fun (d : Diag.t) ->
+      if d.Diag.code.[0] <> 'A' then
+        check Alcotest.string "only replay warnings" "M045" d.Diag.code)
     ds
 
 (* ------------------------------------------------------------------ *)
@@ -306,8 +321,14 @@ let test_mutation_use_before_def () =
     { Mir.p_model = m; p_globals = []; p_funcs = [ fn ] }
   in
   assert_caught "use before def" Diag.Post_select "M031" prog;
-  (* the analysis is optional, for triage of intentional oddities *)
-  let options = { Mircheck.default_options with Mircheck.def_use = false } in
+  (* the analyses are optional, for triage of intentional oddities *)
+  let options =
+    {
+      Mircheck.default_options with
+      Mircheck.def_use = false;
+      Mircheck.global_dataflow = false;
+    }
+  in
   check (Alcotest.list Alcotest.string) "def-use off" []
     (codes_at ~options Diag.Post_select prog)
 

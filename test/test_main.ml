@@ -19,4 +19,5 @@ let () =
       ("e2e", Test_e2e.suite);
       ("props", Test_props.suite);
       ("timing", Test_timing.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -82,8 +82,9 @@ let cell_blob ~jobs model strat : string =
                    (fun (p : Pass.t) -> p.Pass.name)
                    (Strategy.pipeline strat))
               ~check:true ~def_use:opts.Mircheck.def_use
+              ~global_dataflow:opts.Mircheck.global_dataflow
               ~hazard_replay:opts.Mircheck.hazard_replay ~validate:true
-              ~dag_stats:false
+              ~dag_stats:false ~disambig:true
           in
           let md = Ckey.of_model model in
           List.iter
@@ -105,22 +106,22 @@ let cell_digest ~jobs model strat =
 
 let goldens =
   [
-    (("toyp", "naive"), "33445001815d8ac52149c395f8fb5f49");
-    (("toyp", "postpass"), "047fc9d6b3a38cac58fa12d644a9a854");
-    (("toyp", "ips"), "8c878b1b0a2e439b330fbebd81a3888e");
-    (("toyp", "rase"), "a82c00b7ab9dade72e2228605fe08ec5");
-    (("r2000", "naive"), "3013b5a62a47ef2e5df1d227570af2f6");
-    (("r2000", "postpass"), "580957799085703e7db2cb97e090f912");
-    (("r2000", "ips"), "2a40f4b81248e4e47cb51e512b91c48f");
-    (("r2000", "rase"), "17bf513b5fdbb479c21f5493c0738394");
-    (("m88000", "naive"), "e74535608dd8cdfadfea724aafc0618b");
-    (("m88000", "postpass"), "e7a2687d94c47a09c27a6c50ac3b3346");
-    (("m88000", "ips"), "56085c64595c1b01f95ec0036621882b");
-    (("m88000", "rase"), "46967dd35c7755240ee9394cb2ed2d55");
-    (("i860", "naive"), "2901e25446b210ee302e141706c36762");
-    (("i860", "postpass"), "823f292d139a748361f0e1cb5441f383");
-    (("i860", "ips"), "d84a4dd220708880b5c17e7ec2199d74");
-    (("i860", "rase"), "3ced689d3cc29c68f7c1f84252f2106f");
+    (("toyp", "naive"), "3423614287229df2dc24ba9b9786641f");
+    (("toyp", "postpass"), "b4319e39ebe0cc889f421543f086b8ea");
+    (("toyp", "ips"), "9f28f901ec5086a4f78dae507a7fdeec");
+    (("toyp", "rase"), "76a532c5f6dfe979695b84495d28105e");
+    (("r2000", "naive"), "4889300946c7beb0b599d9bc8cb2295a");
+    (("r2000", "postpass"), "7bc0edc6b0ee2ba912a20f6782503d86");
+    (("r2000", "ips"), "18d483483ad20381cf76801471968727");
+    (("r2000", "rase"), "98341dd104b6327fe839175703ef9f14");
+    (("m88000", "naive"), "eb086a968d1ca0ffbbc5870eab546ce5");
+    (("m88000", "postpass"), "dba6ec718491b5965dc810ce996421dd");
+    (("m88000", "ips"), "5e980f473ad378e3082c587323770773");
+    (("m88000", "rase"), "9d630a000e91379de491df1b60f6dedf");
+    (("i860", "naive"), "e495ab8099784bde49d3e1f8926f467e");
+    (("i860", "postpass"), "b40c3a8905f1ef8dbd865d9fe64b2933");
+    (("i860", "ips"), "6b29d30eb379e035dc2c14d1b1b13f57");
+    (("i860", "rase"), "94f1fc391e83f961a25db41dc5887efb");
   ]
 
 let test_bit_identity ~jobs () =
